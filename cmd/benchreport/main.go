@@ -1,0 +1,308 @@
+// Command benchreport regenerates the paper's evaluation artifacts:
+//
+//	benchreport -table1      Table 1: targets and rule coverage
+//	benchreport -table2      Table 2: 40 CIS rules under four engines
+//	benchreport -listing6    Listing 6: rule-encoding size comparison
+//	benchreport -fleet N     §5: fleet-scale image scanning throughput
+//	benchreport -all         everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"configvalidator/internal/baseline"
+	"configvalidator/internal/baseline/scriptcheck"
+	"configvalidator/internal/baseline/xccdf"
+	"configvalidator/internal/cvl"
+	"configvalidator/internal/engine"
+	"configvalidator/internal/fixtures"
+	"configvalidator/internal/rules"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "print the Table-1 coverage report")
+		table2   = flag.Bool("table2", false, "run and print the Table-2 engine comparison")
+		listing6 = flag.Bool("listing6", false, "print the Listing-6 encoding comparison")
+		fleet    = flag.Int("fleet", 0, "scan a fleet of N generated images and report throughput")
+		all      = flag.Bool("all", false, "produce every report")
+		iters    = flag.Int("iters", 50, "iterations per engine for -table2")
+	)
+	flag.Parse()
+	if *all {
+		*table1, *table2, *listing6 = true, true, true
+		if *fleet == 0 {
+			*fleet = 100
+		}
+	}
+	if !*table1 && !*table2 && !*listing6 && *fleet == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*table1, *table2, *listing6, *fleet, *iters); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table1, table2, listing6 bool, fleet, iters int) error {
+	if table1 {
+		if err := reportTable1(); err != nil {
+			return err
+		}
+	}
+	if table2 {
+		if err := reportTable2(iters); err != nil {
+			return err
+		}
+	}
+	if listing6 {
+		if err := reportListing6(); err != nil {
+			return err
+		}
+	}
+	if fleet > 0 {
+		if err := reportFleet(fleet); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reportTable1 prints the coverage table of §4.1.
+func reportTable1() error {
+	all, err := rules.All()
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Table 1: Targets supported by ConfigValidator ==")
+	byCategory := map[string][]string{}
+	for _, t := range rules.Targets() {
+		byCategory[t.Category] = append(byCategory[t.Category], t.Name)
+	}
+	for _, cat := range []string{"application", "system", "cloud"} {
+		names := byCategory[cat]
+		sort.Strings(names)
+		fmt.Printf("%-16s %s\n", cat+"s:", strings.Join(names, ", "))
+	}
+	total := 0
+	fmt.Printf("\n%-12s %-12s %-10s %s\n", "TARGET", "CATEGORY", "STANDARD", "RULES")
+	for _, t := range rules.Targets() {
+		n := len(all[t.Name])
+		total += n
+		fmt.Printf("%-12s %-12s %-10s %d\n", t.Name, t.Category, t.Standard, n)
+	}
+	fmt.Printf("\nTotal: %d target types, %d rules\n", len(rules.Targets()), total)
+	fmt.Printf("CIS Docker checklist coverage: %d/%d (%.0f%%)\n",
+		len(all["docker"]), rules.CISDockerChecklistSize,
+		float64(len(all["docker"]))/float64(rules.CISDockerChecklistSize)*100)
+	fmt.Printf("Ubuntu audit checklist coverage: %d/%d (all)\n\n",
+		len(all["audit"]), rules.UbuntuAuditChecklistSize)
+	return nil
+}
+
+// reportTable2 times the four engines on the 40-rule workload.
+func reportTable2(iters int) error {
+	host, _ := fixtures.SystemHost("bench-host", fixtures.Profile{Seed: 1234, MisconfigRate: 0.2})
+	specs := baseline.CIS40()
+
+	// ConfigValidator: the 40 equivalent CVL rules via the rule engine.
+	cvlRules, cvlPaths, err := cvlRulesFor(specs)
+	if err != nil {
+		return err
+	}
+	eng := engine.New(nil)
+	cvlTime, err := timeIt(iters, func() error {
+		_, err := eng.ValidateRules(host, cvlRules, cvlPaths)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	// Chef Inspec (observed): script checks.
+	checks := scriptcheck.FromSpecs(specs)
+	scriptEng := scriptcheck.New()
+	scriptTime, err := timeIt(iters, func() error {
+		scriptEng.Run(host, checks)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// OpenSCAP: XCCDF engine with pre-loaded documents.
+	benchXML, ovalXML, err := xccdf.Generate("cis-ubuntu-40", specs)
+	if err != nil {
+		return err
+	}
+	xEng, err := xccdf.Load(benchXML, ovalXML)
+	if err != nil {
+		return err
+	}
+	scapTime, err := timeIt(iters, func() error {
+		xEng.Evaluate(host)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// CIS-CAT: the same evaluation behind a simulated init cost.
+	ciscat := xccdf.NewCISCAT(xEng, 0)
+	ciscatTime, err := timeIt(iters, func() error {
+		ciscat.Evaluate(host)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("== Table 2: 40-rule runtime across validation engines ==")
+	fmt.Printf("%-18s %-14s %-16s %14s %10s\n", "TOOL", "SPEC LANG", "IMPL LANG", "TIME/RUN", "VS CVL")
+	rows := []struct {
+		tool, spec, impl string
+		d                time.Duration
+	}{
+		{"ConfigValidator", "YAML (CVL)", "Go", cvlTime},
+		{"Chef Inspec*", "bash-in-Ruby", "Go (simulated)", scriptTime},
+		{"OpenSCAP*", "XCCDF/OVAL", "Go (simulated)", scapTime},
+		{"CIS-CAT*", "XCCDF/OVAL", "Go + sim. init", ciscatTime},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-18s %-14s %-16s %14s %9.1fx\n", r.tool, r.spec, r.impl, r.d.Round(time.Microsecond), float64(r.d)/float64(cvlTime))
+	}
+	fmt.Printf("\n*: reimplementation of the tool's validation model in Go (see DESIGN.md);\n")
+	fmt.Printf("   CIS-CAT includes a simulated %v initialization cost standing in for\n", xccdf.DefaultCISCATInitCost)
+	fmt.Printf("   JVM startup/license checking. Compare ratios with the paper's\n")
+	fmt.Printf("   1.92s / 1.25s / 0.4s / 14.5s, not absolute values.\n\n")
+	return nil
+}
+
+func cvlRulesFor(specs []baseline.CheckSpec) ([]*cvl.Rule, []string, error) {
+	want := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		want[s.CVLTarget+"/"+s.CVLRule] = true
+	}
+	var out []*cvl.Rule
+	pathSet := map[string]bool{}
+	for _, t := range rules.Targets() {
+		rs, err := rules.Load(t.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, r := range rs {
+			if want[t.Name+"/"+r.Name] {
+				out = append(out, r)
+				for _, p := range t.SearchPaths {
+					pathSet[p] = true
+				}
+			}
+		}
+	}
+	if len(out) != len(specs) {
+		return nil, nil, fmt.Errorf("resolved %d CVL rules for %d specs", len(out), len(specs))
+	}
+	paths := make([]string, 0, len(pathSet))
+	for p := range pathSet {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return out, paths, nil
+}
+
+func timeIt(iters int, fn func() error) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(iters), nil
+}
+
+// reportListing6 prints the encoding-size comparison for the
+// "Disable SSH Root Login" rule.
+func reportListing6() error {
+	specs := baseline.CIS40()
+	var spec baseline.CheckSpec
+	for _, s := range specs {
+		if s.CVLRule == "PermitRootLogin" {
+			spec = s
+		}
+	}
+	benchXML, ovalXML, err := xccdf.Generate("one-rule", []baseline.CheckSpec{spec})
+	if err != nil {
+		return err
+	}
+	xccdfLines := countLines(string(benchXML)) + countLines(string(ovalXML))
+
+	cvlSrc, err := rules.Reader()("component_configs/sshd.yaml")
+	if err != nil {
+		return err
+	}
+	cvlLines := 0
+	for _, doc := range strings.Split(string(cvlSrc), "---") {
+		if strings.Contains(doc, "config_name: PermitRootLogin") {
+			cvlLines = countLines(strings.TrimSpace(doc))
+		}
+	}
+	scriptLines := countLines(strings.TrimSpace(scriptcheck.Render(scriptcheck.FromSpec(spec))))
+
+	fmt.Println("== Listing 6: encoding the 'Disable SSH Root Login' rule ==")
+	fmt.Printf("%-24s %8s   (paper)\n", "FORMAT", "LINES")
+	fmt.Printf("%-24s %8d   (45)\n", "XCCDF/OVAL", xccdfLines)
+	fmt.Printf("%-24s %8d   (10)\n", "ConfigValidator (CVL)", cvlLines)
+	fmt.Printf("%-24s %8d   (7)\n", "Inspec observed (bash)", scriptLines)
+	fmt.Println()
+	return nil
+}
+
+func countLines(s string) int {
+	if s == "" {
+		return 0
+	}
+	return strings.Count(s, "\n") + 1
+}
+
+// reportFleet scans n generated images and reports throughput (§5: the
+// production deployment validates tens of thousands of images daily).
+func reportFleet(n int) error {
+	reg, injected := fixtures.Fleet(n, fixtures.Profile{Seed: 99, MisconfigRate: 0.3})
+	manifest, err := rules.Manifest()
+	if err != nil {
+		return err
+	}
+	eng := engine.New(nil)
+	source := engine.NewCachedSource(rules.Reader())
+	start := time.Now()
+	scanned, failedChecks := 0, 0
+	for _, ref := range reg.Images() {
+		img, err := reg.Pull(ref)
+		if err != nil {
+			return err
+		}
+		rep, err := eng.ValidateWithSource(img.Entity(), manifest, source)
+		if err != nil {
+			return err
+		}
+		scanned++
+		failedChecks += rep.Counts()[engine.StatusFail]
+	}
+	elapsed := time.Since(start)
+	perDay := float64(scanned) / elapsed.Seconds() * 86400
+	fmt.Println("== Fleet scan (production-scale workload, §5) ==")
+	fmt.Printf("images scanned:        %d\n", scanned)
+	fmt.Printf("misconfigs injected:   %d\n", injected)
+	fmt.Printf("failed checks found:   %d\n", failedChecks)
+	fmt.Printf("total time:            %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput:            %.0f images/s (single-threaded)\n", float64(scanned)/elapsed.Seconds())
+	fmt.Printf("extrapolated capacity: %.2g images/day\n", perDay)
+	fmt.Printf("paper's claim:         'tens of thousands of containers and images daily'\n\n")
+	return nil
+}

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestAllReportsRun(t *testing.T) {
+	// One iteration per engine keeps this a correctness smoke test rather
+	// than a measurement.
+	if err := run(true, true, true, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoReportsIsValid(t *testing.T) {
+	if err := run(false, false, false, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"configvalidator/internal/frames"
+)
+
+func TestCaptureDemoHost(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "host.frame")
+	if err := run([]string{"-demo", "host", "-seed", "4", "-out", out, "-roots", "/etc"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	frame, err := frames.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Name != "demo-host" || frame.NumFiles() == 0 {
+		t.Errorf("frame = %s, %d files", frame.Name, frame.NumFiles())
+	}
+	// The captured entity serves files for validation.
+	ent := frame.Entity()
+	data, err := ent.ReadFile("/etc/ssh/sshd_config")
+	if err != nil || !strings.Contains(string(data), "PermitRootLogin") {
+		t.Errorf("sshd_config from frame: %q, %v", data, err)
+	}
+}
+
+func TestCaptureDemoImage(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "img.frame")
+	if err := run([]string{"-demo", "image", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	frame, err := frames.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.EntityType.String() != "image" {
+		t.Errorf("type = %v", frame.EntityType)
+	}
+}
+
+func TestCaptureOSDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "etc"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "etc", "sysctl.conf"), []byte("net.ipv4.ip_forward = 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "os.frame")
+	if err := run([]string{"-host", dir, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	frame, err := frames.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.NumFiles() != 1 {
+		t.Errorf("files = %d", frame.NumFiles())
+	}
+}
+
+func TestErrorFlags(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"-demo", "container"},
+		{"-demo", "host", "-host", "/x"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v succeeded", args)
+		}
+	}
+}

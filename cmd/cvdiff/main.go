@@ -1,0 +1,76 @@
+// Command cvdiff compares two configuration frames of the same entity and
+// reports validation drift: regressions, fixes, and appeared/disappeared
+// checks. This is the continuous-validation workflow of the paper's
+// production deployment — entities are scanned daily, and operators act on
+// the change set.
+//
+//	crawlframe -host / -out monday.frame
+//	crawlframe -host / -out tuesday.frame     # a day later
+//	cvdiff -old monday.frame -new tuesday.frame
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	configvalidator "configvalidator"
+	"configvalidator/internal/frames"
+	"configvalidator/internal/output"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cvdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cvdiff", flag.ContinueOnError)
+	var (
+		oldPath = fs.String("old", "", "earlier frame file")
+		newPath = fs.String("new", "", "later frame file")
+		failOn  = fs.Bool("fail-on-regressions", false, "exit nonzero when regressions are found")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldPath == "" || *newPath == "" {
+		return fmt.Errorf("both -old and -new frame files are required")
+	}
+	v, err := configvalidator.New()
+	if err != nil {
+		return err
+	}
+	oldRep, err := scanFrame(v, *oldPath)
+	if err != nil {
+		return fmt.Errorf("old frame: %w", err)
+	}
+	newRep, err := scanFrame(v, *newPath)
+	if err != nil {
+		return fmt.Errorf("new frame: %w", err)
+	}
+	drift := output.DiffReports(oldRep, newRep)
+	if err := output.WriteDrift(out, drift); err != nil {
+		return err
+	}
+	if *failOn && len(drift.Regressions) > 0 {
+		return fmt.Errorf("%d regressions", len(drift.Regressions))
+	}
+	return nil
+}
+
+func scanFrame(v *configvalidator.Validator, path string) (*configvalidator.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	frame, err := frames.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	return v.Validate(frame.Entity())
+}

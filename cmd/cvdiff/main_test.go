@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"configvalidator/internal/entity"
+	"configvalidator/internal/fixtures"
+	"configvalidator/internal/frames"
+)
+
+func writeFrame(t *testing.T, name string, ent entity.Entity) string {
+	t.Helper()
+	frame, err := frames.Capture(ent, nil, time.Date(2017, 12, 12, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	if err := frame.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDriftDetection(t *testing.T) {
+	good, _ := fixtures.SystemHost("web-01", fixtures.Profile{Seed: 1})
+	drifted, _ := fixtures.SystemHost("web-01", fixtures.Profile{Seed: 1})
+	drifted.AddFile("/etc/ssh/sshd_config", []byte("Port 22\nPermitRootLogin yes\n"), entity.WithMode(0o600))
+
+	oldFrame := writeFrame(t, "old.frame", good)
+	newFrame := writeFrame(t, "new.frame", drifted)
+
+	var out bytes.Buffer
+	if err := run([]string{"-old", oldFrame, "-new", newFrame}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "REGRESSIONS") || !strings.Contains(out.String(), "PermitRootLogin") {
+		t.Errorf("drift output:\n%s", out.String())
+	}
+	// The replaced sshd_config drops most keys, so some checks regress to
+	// not-present failures; PermitRootLogin must be among the regressions.
+
+	// fail-on-regressions exits nonzero.
+	if err := run([]string{"-old", oldFrame, "-new", newFrame, "-fail-on-regressions"}, &out); err == nil {
+		t.Error("regressions did not fail the run")
+	}
+}
+
+func TestNoDrift(t *testing.T) {
+	host, _ := fixtures.SystemHost("web-01", fixtures.Profile{Seed: 1})
+	framePath := writeFrame(t, "same.frame", host)
+	var out bytes.Buffer
+	if err := run([]string{"-old", framePath, "-new", framePath, "-fail-on-regressions"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "No drift") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if err := run([]string{"-old", "/no/old.frame", "-new", "/no/new.frame"}, &out); err == nil {
+		t.Error("missing files accepted")
+	}
+}

@@ -1,0 +1,60 @@
+// Command cvlgen generates a baseline ("golden config") CVL profile from
+// an existing configuration file, giving rule authors a starting point
+// they can prune and generalize.
+//
+//	cvlgen /etc/ssh/sshd_config > sshd-baseline.yaml
+//	cvlgen -tags '#site,#baseline' -max 50 /etc/mysql/my.cnf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"configvalidator/internal/cvl"
+	"configvalidator/internal/cvlgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cvlgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cvlgen", flag.ContinueOnError)
+	var (
+		tags = fs.String("tags", "#generated", "comma-separated tags for generated rules")
+		max  = fs.Int("max", 200, "maximum number of rules to generate")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: cvlgen [-tags t1,t2] [-max N] <configfile>")
+	}
+	path := fs.Arg(0)
+	content, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rules, err := cvlgen.FromFile(nil, path, content, cvlgen.Options{
+		Tags:     strings.Split(*tags, ","),
+		MaxRules: *max,
+	})
+	if err != nil {
+		return err
+	}
+	rendered, err := cvl.FormatRuleFile("", rules)
+	if err != nil {
+		return err
+	}
+	if _, err := out.Write(rendered); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %d rules from %s\n", len(rules), path)
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"configvalidator/internal/cvl"
+)
+
+func TestGenerateProfile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sshd_config")
+	if err := os.WriteFile(path, []byte("Port 22\nPermitRootLogin no\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-tags", "#site", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := cvl.ParseRuleFile("gen.yaml", out.Bytes())
+	if err != nil {
+		t.Fatalf("generated output does not parse: %v\n%s", err, out.String())
+	}
+	if len(rf.Rules) != 2 {
+		t.Errorf("rules = %d", len(rf.Rules))
+	}
+	if !strings.Contains(out.String(), "#site") {
+		t.Error("custom tag missing")
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"/no/such/file.conf"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,75 @@
+// Command cvlint lints CVL rule files: syntax errors, unknown keywords
+// (with typo suggestions), type-mismatched keywords, duplicate rules, and
+// maintainability warnings such as missing descriptions or tags.
+//
+//	cvlint rules/*.yaml
+//	cvlint -q rules/nginx.yaml     # errors only
+//	cvlint -builtin                # lint the embedded rule library
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"configvalidator/internal/cvl"
+	"configvalidator/internal/rules"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("cvlint", flag.ContinueOnError)
+	quiet := fs.Bool("q", false, "report errors only, suppress warnings")
+	builtin := fs.Bool("builtin", false, "lint the embedded built-in rule library")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	type input struct {
+		path    string
+		content []byte
+	}
+	var inputs []input
+	if *builtin {
+		for path, content := range rules.Files() {
+			if path == "manifest.yaml" {
+				continue
+			}
+			inputs = append(inputs, input{path: path, content: []byte(content)})
+		}
+	}
+	for _, path := range fs.Args() {
+		content, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cvlint:", err)
+			return 1
+		}
+		inputs = append(inputs, input{path: path, content: content})
+	}
+	if len(inputs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: cvlint [-q] [-builtin] <rulefile.yaml>...")
+		return 2
+	}
+
+	errors, warnings := 0, 0
+	for _, in := range inputs {
+		for _, d := range cvl.Lint(in.path, in.content) {
+			if d.Level == cvl.LintWarning {
+				warnings++
+				if *quiet {
+					continue
+				}
+			} else {
+				errors++
+			}
+			fmt.Printf("%s: %s\n", in.path, d)
+		}
+	}
+	fmt.Printf("%d file(s) checked, %d error(s), %d warning(s)\n", len(inputs), errors, warnings)
+	if errors > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLintCleanFile(t *testing.T) {
+	path := writeTemp(t, "clean.yaml", `
+config_name: PermitRootLogin
+config_description: "ok"
+config_path: [""]
+preferred_value: ["no"]
+preferred_value_match: exact,any
+matched_description: "ok"
+not_matched_preferred_value_description: "bad"
+not_present_description: "missing"
+tags: ["#cis"]
+`)
+	if code := run([]string{path}); code != 0 {
+		t.Errorf("clean file exit = %d", code)
+	}
+}
+
+func TestLintBrokenFile(t *testing.T) {
+	path := writeTemp(t, "broken.yaml", "config_nme: typo\n")
+	if code := run([]string{path}); code != 1 {
+		t.Errorf("broken file exit = %d", code)
+	}
+}
+
+func TestLintWarningsDoNotFail(t *testing.T) {
+	path := writeTemp(t, "warn.yaml", "config_name: x\n")
+	if code := run([]string{path}); code != 0 {
+		t.Errorf("warnings-only exit = %d", code)
+	}
+	if code := run([]string{"-q", path}); code != 0 {
+		t.Errorf("quiet exit = %d", code)
+	}
+}
+
+func TestLintBuiltin(t *testing.T) {
+	if code := run([]string{"-builtin", "-q"}); code != 0 {
+		t.Errorf("builtin library lint exit = %d", code)
+	}
+}
+
+func TestLintUsageAndMissingFile(t *testing.T) {
+	if code := run(nil); code != 2 {
+		t.Errorf("no-args exit = %d", code)
+	}
+	if code := run([]string{"/no/such/file.yaml"}); code != 1 {
+		t.Errorf("missing file exit = %d", code)
+	}
+}

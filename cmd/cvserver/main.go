@@ -1,0 +1,73 @@
+// Command cvserver runs ConfigValidator as an HTTP validation service —
+// the deployment shape of the paper's production system: clients capture
+// configuration frames locally (with crawlframe) and POST them for
+// validation; no agent or remote access to the scanned entity is needed.
+//
+//	cvserver -addr :8080
+//	crawlframe -demo host -out host.frame
+//	curl --data-binary @host.frame http://localhost:8080/v1/validate/frame
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"configvalidator/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cvserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cvserver", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := server.New(nil)
+	if err != nil {
+		return err
+	}
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute, // frames can be large
+		WriteTimeout:      5 * time.Minute,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- httpServer.ListenAndServe()
+	}()
+	fmt.Fprintf(os.Stderr, "cvserver listening on %s\n", *addr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "received %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-addr"}); err == nil {
+		t.Error("dangling flag accepted")
+	}
+}
+
+func TestBadListenAddress(t *testing.T) {
+	// An unbindable address surfaces as a startup error rather than a hang.
+	if err := run([]string{"-addr", "256.256.256.256:99999"}); err == nil {
+		t.Error("unbindable address accepted")
+	}
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"configvalidator/internal/fixtures"
+	"configvalidator/internal/frames"
+)
+
+func writeFrameFile(t *testing.T, path string, misconfig float64, seed int64) {
+	t.Helper()
+	host, _ := fixtures.SystemHost("watched", fixtures.Profile{Seed: seed, MisconfigRate: misconfig})
+	frame, err := frames.Capture(host, nil, time.Date(2017, 12, 12, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	if err := frame.Write(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchDetectsDriftBetweenScans(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "watched.frame")
+	writeFrameFile(t, path, 0, 1)
+
+	// Swap the frame contents between the first and second scan.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(150 * time.Millisecond)
+		writeFrameFile(t, path, 1, 1)
+	}()
+
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-frame", path, "-interval", "300ms", "-max-scans", "2",
+	}, &out)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "[scan 1]") || !strings.Contains(text, "[scan 2]") {
+		t.Fatalf("scans missing:\n%s", text)
+	}
+	if !strings.Contains(text, "REGRESSIONS") {
+		t.Errorf("drift not reported:\n%s", text)
+	}
+}
+
+func TestWatchStableFrameNoDrift(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stable.frame")
+	writeFrameFile(t, path, 0.5, 2)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-frame", path, "-interval", "50ms", "-max-scans", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "REGRESSIONS") {
+		t.Errorf("phantom drift:\n%s", out.String())
+	}
+}
+
+func TestWatchCancellation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.frame")
+	writeFrameFile(t, path, 0, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-frame", path, "-interval", "1h"}, &out)
+	}()
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher did not stop on cancellation")
+	}
+	if !strings.Contains(out.String(), "stopped") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestWatchFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		nil,
+		{"-host", "/x", "-frame", "/y"},
+		{"-frame", "/z", "-interval", "-1s"},
+		{"-frame", "/no/such.frame", "-max-scans", "1"},
+	} {
+		if err := run(context.Background(), args, &out); err == nil {
+			t.Errorf("args %v succeeded", args)
+		}
+	}
+}

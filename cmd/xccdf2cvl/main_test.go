@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"configvalidator/internal/cvl"
+)
+
+func TestDemoConversion(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "imported.yaml")
+	if err := run([]string{"-demo", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	content, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := cvl.ParseRuleFile(out, content)
+	if err != nil {
+		t.Fatalf("imported file does not parse: %v", err)
+	}
+	if len(rf.Rules) != 30 {
+		t.Errorf("rules = %d", len(rf.Rules))
+	}
+}
+
+func TestFileInputs(t *testing.T) {
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "bench.xml")
+	oval := filepath.Join(dir, "oval.xml")
+	if err := os.WriteFile(bench, []byte(`<Benchmark id="b"></Benchmark>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(oval, []byte(`<oval_definitions></oval_definitions>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.yaml")
+	if err := run([]string{"-benchmark", bench, "-oval", oval, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorFlags(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"-benchmark", "/only/one.xml"},
+		{"-benchmark", "/no/file.xml", "-oval", "/no/file2.xml"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package configvalidator_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	configvalidator "configvalidator"
+	"configvalidator/internal/cvl"
+	"configvalidator/internal/entity"
+)
+
+// Example validates an sshd configuration with one hand-written CVL rule.
+func Example() {
+	ruleFile, err := cvl.ParseRuleFile("sshd.yaml", []byte(`
+config_name: PermitRootLogin
+config_path: [""]
+preferred_value: ["no"]
+matched_description: "Root login is disabled."
+not_matched_preferred_value_description: "Root login is enabled!"
+`))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	host := entity.NewMem("example-host", entity.TypeHost)
+	host.AddFile("/etc/ssh/sshd_config", []byte("PermitRootLogin yes\n"))
+
+	v, err := configvalidator.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := v.ValidateRules(host, ruleFile.Rules, []string{"/etc/ssh"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range report.Results {
+		fmt.Printf("[%s] %s: %s\n", r.Status, r.Rule.Name, r.Message)
+	}
+	// Output:
+	// [FAIL] PermitRootLogin: Root login is enabled!
+}
+
+// ExampleValidator_Validate runs the full built-in rule library against an
+// entity and prints the summary line.
+func ExampleValidator_Validate() {
+	host := entity.NewMem("clean-host", entity.TypeHost)
+	host.AddFile("/etc/ssh/sshd_config", []byte("PermitRootLogin no\nBanner /etc/issue.net\n"))
+
+	v, err := configvalidator.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := v.ValidateTarget(host, "sshd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := report.Counts()
+	fmt.Printf("sshd checks: %d results, %d failed\n",
+		len(report.Results), counts[configvalidator.StatusFail])
+	// A host with only two directives set fails the stricter CIS checks.
+	// Output:
+	// sshd checks: 18 results, 7 failed
+}
+
+// ExampleWriteText renders a report in the human-readable format.
+func ExampleWriteText() {
+	host := entity.NewMem("demo", entity.TypeHost)
+	host.AddFile("/etc/sysctl.conf", []byte("net.ipv4.ip_forward = 1\n"))
+
+	v, err := configvalidator.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := v.ValidateTarget(host, "sysctl")
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.Results = report.Results[:1] // keep the example output short
+	if err := configvalidator.WriteText(os.Stdout, report, configvalidator.OutputOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// Entity: demo (host)
+	// Checks: 1 total, 0 passed, 1 failed, 0 not applicable, 0 errors
+	//
+	// [FAIL] sysctl/net/ipv4/ip_forward: IP forwarding is enabled.
+	//         file: /etc/sysctl.conf
+}

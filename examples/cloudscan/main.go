@@ -1,0 +1,70 @@
+// Cloud validation: crawling runtime state over an HTTP API (paper §2.1.3).
+//
+// Starts a simulated OpenStack-like control plane, crawls its security
+// groups, users, and identity configuration over the JSON API into virtual
+// documents, and validates them with the built-in OSSG rules — the "cloud"
+// entity class of Table 1.
+//
+//	go run ./examples/cloudscan
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+
+	configvalidator "configvalidator"
+	"configvalidator/internal/cloudsim"
+)
+
+func main() {
+	// A control plane with some OSSG violations: plaintext identity
+	// endpoints, a lingering bootstrap token, and a world-open SSH rule.
+	cloud := cloudsim.New("prod-cloud")
+	cloud.SetIdentityConfig(cloudsim.IdentityConfig{
+		TLSEnabled:             false, // violation
+		AdminTokenEnabled:      true,  // violation
+		TokenExpirationSeconds: 3600,
+		PasswordMinLength:      8, // violation (< 12)
+	})
+	cloud.AddSecurityGroup(cloudsim.SecurityGroup{
+		ID: "sg-web", Name: "web", Project: "acme",
+		Rules: []cloudsim.SecurityGroupRule{
+			{Direction: "ingress", Protocol: "tcp", PortMin: 443, PortMax: 443, RemoteIPPrefix: "10.0.0.0/8"},
+		},
+	})
+	cloud.AddSecurityGroup(cloudsim.SecurityGroup{
+		ID: "sg-bastion", Name: "bastion", Project: "acme",
+		Rules: []cloudsim.SecurityGroupRule{
+			{Direction: "ingress", Protocol: "tcp", PortMin: 22, PortMax: 22, RemoteIPPrefix: "0.0.0.0/0"}, // violation
+		},
+	})
+	cloud.AddUser(cloudsim.User{ID: "u-1", Name: "admin", Enabled: true, MFAEnabled: true})
+	cloud.AddUser(cloudsim.User{ID: "u-2", Name: "intern", Enabled: true, MFAEnabled: false}) // violation
+	cloud.AddInstance(cloudsim.Instance{ID: "i-1", Name: "web-1", Project: "acme", Status: "ACTIVE", SecurityGroups: []string{"sg-web"}})
+
+	// Serve the control plane over HTTP and crawl it, exactly as the
+	// production system queries cloud APIs.
+	srv := httptest.NewServer(cloud.Handler())
+	defer srv.Close()
+	fmt.Printf("cloud API serving at %s\n", srv.URL)
+
+	ent, err := cloudsim.NewClient(srv.URL).Crawl("prod-cloud")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crawled %d virtual documents\n\n", len(ent.Files()))
+
+	v, err := configvalidator.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := v.ValidateTarget(ent, "openstack")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := configvalidator.WriteText(os.Stdout, report, configvalidator.OutputOptions{ShowPassing: true, Verbose: true}); err != nil {
+		log.Fatal(err)
+	}
+}

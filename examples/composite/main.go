@@ -1,0 +1,138 @@
+// Composite rules: the paper's Listing-1 scenario.
+//
+// A three-component stack (nginx + MySQL + kernel sysctl) is validated
+// with per-entity rules plus one composite rule that only holds when all
+// three components are configured consistently:
+//
+//	mysql.ssl-ca.CONFIGPATH=[mysqld].VALUE == "/etc/mysql/cacert.pem"
+//	  && sysctl.net.ipv4.ip_forward && nginx.listen
+//
+// The example runs the composite against a compliant stack and then breaks
+// one leg at a time, showing how the cross-entity conjunction reacts.
+//
+//	go run ./examples/composite
+package main
+
+import (
+	"fmt"
+	"log"
+
+	configvalidator "configvalidator"
+	"configvalidator/internal/cvl"
+	"configvalidator/internal/entity"
+)
+
+var ruleFiles = map[string]string{
+	"manifest.yaml": `
+nginx:
+  enabled: True
+  config_search_paths:
+    - /etc/nginx
+  cvl_file: nginx.yaml
+sysctl:
+  enabled: True
+  config_search_paths:
+    - /etc/sysctl.conf
+  cvl_file: sysctl.yaml
+mysql:
+  enabled: True
+  config_search_paths:
+    - /etc/mysql
+  cvl_file: mysql.yaml
+stack:
+  enabled: True
+  cvl_file: composite.yaml
+`,
+	"nginx.yaml": `
+config_name: listen
+config_description: "nginx must listen with SSL."
+config_path: ["server", "http/server"]
+preferred_value: ["ssl"]
+preferred_value_match: substr,any
+matched_description: "nginx has SSL enabled on listening sockets."
+not_matched_preferred_value_description: "nginx listens without SSL."
+not_present_description: "no nginx listen directive found."
+tags: ["#ssl"]
+`,
+	"sysctl.yaml": `
+config_name: net/ipv4/ip_forward
+config_description: "IP forwarding must be disabled."
+config_path: [""]
+preferred_value: ["0"]
+matched_description: "ip_forward is disabled."
+not_matched_preferred_value_description: "ip_forward is enabled."
+not_present_description: "net.ipv4.ip_forward is not set."
+tags: ["#cis"]
+`,
+	"mysql.yaml": `
+config_name: ssl-ca
+config_description: "MySQL must reference the CA certificate."
+config_path: ["mysqld"]
+matched_description: "mysql ssl-ca is configured."
+not_present_description: "mysql ssl-ca is not configured."
+tags: ["#ssl"]
+`,
+	"composite.yaml": `
+composite_rule_name: "mysql ssl-ca path and sysctl and nginx SSL"
+composite_rule_description: "Check if nginx is running with SSL, ip_forward is disabled, and mysql server ssl-ca has a cert"
+composite_rule: mysql.ssl-ca.CONFIGPATH=[mysqld].VALUE == "/etc/mysql/cacert.pem" && sysctl.net.ipv4.ip_forward && nginx.listen
+tags: ["docker", "nginx", "sysctl"]
+matched_description: "mysql server ssl-ca has a cert, ip_forward is disabled, and nginx has SSL enabled."
+not_matched_preferred_value_description: "Either mysql server ssl-ca does not have a cert, or ip_forward is enabled, or nginx has SSL disabled."
+`,
+}
+
+// stack builds the three-component host with the given knob settings.
+func stack(nginxListen, ipForward, sslCA string) *entity.Mem {
+	m := entity.NewMem("stack-host", entity.TypeHost)
+	m.AddFile("/etc/nginx/nginx.conf", []byte(fmt.Sprintf(
+		"http {\n  server {\n    listen %s;\n  }\n}\n", nginxListen)))
+	m.AddFile("/etc/sysctl.conf", []byte("net.ipv4.ip_forward = "+ipForward+"\n"))
+	m.AddFile("/etc/mysql/my.cnf", []byte("[mysqld]\nssl-ca = "+sslCA+"\n"))
+	return m
+}
+
+func main() {
+	manifest, err := cvl.ParseManifest("manifest.yaml", []byte(ruleFiles["manifest.yaml"]))
+	if err != nil {
+		log.Fatal(err)
+	}
+	read := func(p string) ([]byte, error) {
+		src, ok := ruleFiles[p]
+		if !ok {
+			return nil, fmt.Errorf("no rule file %q", p)
+		}
+		return []byte(src), nil
+	}
+	v, err := configvalidator.New(configvalidator.WithManifest(manifest, read))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	scenarios := []struct {
+		name        string
+		nginxListen string
+		ipForward   string
+		sslCA       string
+	}{
+		{"compliant stack", "443 ssl", "0", "/etc/mysql/cacert.pem"},
+		{"nginx without SSL", "80", "0", "/etc/mysql/cacert.pem"},
+		{"IP forwarding enabled", "443 ssl", "1", "/etc/mysql/cacert.pem"},
+		{"wrong CA certificate", "443 ssl", "0", "/tmp/self-signed.pem"},
+	}
+	for _, sc := range scenarios {
+		report, err := v.Validate(stack(sc.nginxListen, sc.ipForward, sc.sslCA))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("— %s —\n", sc.name)
+		for _, r := range report.Results {
+			marker := "✓"
+			if r.Status == configvalidator.StatusFail {
+				marker = "✗"
+			}
+			fmt.Printf("  %s [%s] %s: %s\n", marker, r.ManifestEntity, r.Rule.Name, r.Message)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,130 @@
+// Rule inheritance: extending a community baseline (paper §3.2).
+//
+// A site inherits a vendor/community baseline rule file, overrides one
+// rule for a deployment-specific peculiarity (root login allowed with keys
+// from the bastion), disables a rule that does not apply, and adds a new
+// site-specific rule. The example prints the effective rule set and
+// validates a host against it.
+//
+//	go run ./examples/inheritance
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	configvalidator "configvalidator"
+	"configvalidator/internal/entity"
+)
+
+var files = map[string]string{
+	// The community baseline, as an application vendor might ship it.
+	"base/sshd.yaml": `
+config_name: PermitRootLogin
+config_description: "Disable root login over SSH."
+config_path: [""]
+file_context: ["sshd_config"]
+preferred_value: ["no"]
+matched_description: "Root login is disabled."
+not_matched_preferred_value_description: "Root login is enabled."
+not_present_description: "PermitRootLogin is not present."
+tags: ["#cis"]
+---
+config_name: X11Forwarding
+config_description: "Disable X11 forwarding."
+config_path: [""]
+file_context: ["sshd_config"]
+preferred_value: ["no"]
+matched_description: "X11 forwarding is disabled."
+not_matched_preferred_value_description: "X11 forwarding is enabled."
+not_present_description: "X11Forwarding is not present."
+tags: ["#cis"]
+---
+config_name: Banner
+config_description: "Configure a warning banner."
+config_path: [""]
+file_context: ["sshd_config"]
+matched_description: "A warning banner is configured."
+not_present_description: "No warning banner."
+tags: ["#cis"]
+`,
+	// The site file: inherit, override, disable, extend.
+	"site/sshd.yaml": `
+parent_cvl_file: base/sshd.yaml
+---
+# Site override: bastion-initiated root logins with keys are sanctioned.
+config_name: PermitRootLogin
+override: true
+config_description: "Root login allowed with keys only (site policy)."
+config_path: [""]
+file_context: ["sshd_config"]
+preferred_value: ["no", "without-password", "prohibit-password"]
+preferred_value_match: exact,any
+matched_description: "Root login restricted per site policy."
+not_matched_preferred_value_description: "Root password login is enabled."
+not_present_description: "PermitRootLogin is not present."
+tags: ["#cis", "#site"]
+---
+# Dev hosts run X11 tooling; the baseline rule does not apply here.
+config_name: X11Forwarding
+disabled: true
+---
+# Site-specific addition.
+config_name: AllowGroups
+config_description: "Restrict SSH to the ssh-users group."
+config_path: [""]
+file_context: ["sshd_config"]
+preferred_value: ["ssh-users"]
+preferred_value_match: substr,any
+matched_description: "SSH access is group-restricted."
+not_matched_preferred_value_description: "AllowGroups does not include ssh-users."
+not_present_description: "SSH access is not group-restricted."
+tags: ["#site"]
+`,
+}
+
+func main() {
+	read := func(p string) ([]byte, error) {
+		src, ok := files[p]
+		if !ok {
+			return nil, fmt.Errorf("no rule file %q", p)
+		}
+		return []byte(src), nil
+	}
+
+	effective, err := configvalidator.LoadRules(read, "site/sshd.yaml")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Effective rule set after inheritance:")
+	for _, r := range effective {
+		origin := "inherited from " + "base/sshd.yaml"
+		if r.Source == "site/sshd.yaml" {
+			origin = "site-defined"
+			if r.Override {
+				origin = "site override"
+			}
+		}
+		fmt.Printf("  %-16s (%s)\n", r.Name, origin)
+	}
+
+	host := entity.NewMem("dev-box", entity.TypeHost)
+	host.AddFile("/etc/ssh/sshd_config", []byte(
+		"PermitRootLogin without-password\nX11Forwarding yes\nBanner /etc/issue.net\nAllowGroups ssh-users admins\n"))
+
+	v, err := configvalidator.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := v.ValidateRules(host, effective, []string{"/etc/ssh"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nValidation against the site rule set:")
+	if err := configvalidator.WriteText(os.Stdout, report, configvalidator.OutputOptions{ShowPassing: true}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("note: X11Forwarding yes raises no finding — the site disabled that rule;")
+	fmt.Println("      the baseline alone would have failed it.")
+}

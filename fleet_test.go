@@ -1,0 +1,194 @@
+package configvalidator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"configvalidator/internal/entity"
+	"configvalidator/internal/fixtures"
+	"configvalidator/internal/pkgdb"
+)
+
+// feedFleet builds n images in a registry and streams their entities.
+func feedFleet(t testing.TB, n int, rate float64) <-chan Entity {
+	t.Helper()
+	reg, _ := fixtures.Fleet(n, fixtures.Profile{Seed: 7, MisconfigRate: rate})
+	ch := make(chan Entity)
+	go func() {
+		defer close(ch)
+		for _, ref := range reg.Images() {
+			img, err := reg.Pull(ref)
+			if err != nil {
+				return
+			}
+			ch <- img.Entity()
+		}
+	}()
+	return ch
+}
+
+func TestValidateFleet(t *testing.T) {
+	v, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	results := v.ValidateFleet(context.Background(), feedFleet(t, n, 0.5), FleetOptions{Workers: 4})
+	summary := Summarize(results)
+	if summary.Scanned != n || summary.Errors != 0 {
+		t.Fatalf("summary = %+v", summary)
+	}
+	if summary.EntitiesWithFindings == 0 || summary.ByStatus[StatusFail] == 0 {
+		t.Errorf("dirty fleet reported clean: %+v", summary)
+	}
+}
+
+func TestValidateFleetSingleWorkerMatchesParallel(t *testing.T) {
+	v, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	seq := Summarize(v.ValidateFleet(context.Background(), feedFleet(t, n, 0.5), FleetOptions{Workers: 1}))
+	par := Summarize(v.ValidateFleet(context.Background(), feedFleet(t, n, 0.5), FleetOptions{Workers: 8}))
+	if seq.Scanned != par.Scanned || seq.EntitiesWithFindings != par.EntitiesWithFindings {
+		t.Fatalf("seq %+v != par %+v", seq, par)
+	}
+	for status, count := range seq.ByStatus {
+		if par.ByStatus[status] != count {
+			t.Errorf("status %v: seq %d, par %d", status, count, par.ByStatus[status])
+		}
+	}
+}
+
+func TestValidateFleetTargetFilter(t *testing.T) {
+	v, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := v.ValidateFleet(context.Background(), feedFleet(t, 3, 0), FleetOptions{Workers: 2, Target: "sshd"})
+	for res := range results {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		for _, r := range res.Report.Results {
+			if r.ManifestEntity != "sshd" {
+				t.Fatalf("unexpected entity %s in targeted fleet scan", r.ManifestEntity)
+			}
+		}
+	}
+}
+
+func TestValidateFleetCancellation(t *testing.T) {
+	v, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// An endless stream of entities.
+	entities := make(chan Entity)
+	go func() {
+		i := 0
+		for {
+			m := entity.NewMem(fmt.Sprintf("e-%d", i), entity.TypeHost)
+			m.SetPackages([]pkgdb.Package{})
+			select {
+			case entities <- m:
+				i++
+			case <-ctx.Done():
+				close(entities)
+				return
+			}
+		}
+	}()
+	results := v.ValidateFleet(ctx, entities, FleetOptions{Workers: 2})
+	got := 0
+	for range results {
+		got++
+		if got == 5 {
+			cancel()
+		}
+	}
+	// The channel closed after cancellation: workers exited cleanly.
+	if got < 5 {
+		t.Fatalf("only %d results before close", got)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("context not cancelled")
+	}
+}
+
+func TestValidateFleetBadTarget(t *testing.T) {
+	v, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := v.ValidateFleet(context.Background(), feedFleet(t, 2, 0), FleetOptions{Workers: 1, Target: "nope"})
+	summary := Summarize(results)
+	if summary.Errors != 2 || summary.Scanned != 0 {
+		t.Fatalf("summary = %+v", summary)
+	}
+}
+
+func TestValidateFleetDefaultWorkers(t *testing.T) {
+	v, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := v.ValidateFleet(context.Background(), feedFleet(t, 4, 0), FleetOptions{})
+	if s := Summarize(results); s.Scanned != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	ch := make(chan FleetResult, 2)
+	ch <- FleetResult{Err: errors.New("boom")}
+	ch <- FleetResult{Report: &Report{}}
+	close(ch)
+	s := Summarize(ch)
+	if s.Errors != 1 || s.Scanned != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func BenchmarkFleetParallel(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			v, err := New()
+			if err != nil {
+				b.Fatal(err)
+			}
+			reg, _ := fixtures.Fleet(50, fixtures.Profile{Seed: 7, MisconfigRate: 0.3})
+			var ents []Entity
+			for _, ref := range reg.Images() {
+				img, err := reg.Pull(ref)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ents = append(ents, img.Entity())
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ch := make(chan Entity)
+				go func() {
+					defer close(ch)
+					for _, e := range ents {
+						ch <- e
+					}
+				}()
+				s := Summarize(v.ValidateFleet(context.Background(), ch, FleetOptions{Workers: workers}))
+				if s.Scanned != 50 {
+					b.Fatalf("scanned %d", s.Scanned)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module configvalidator
+
+go 1.22

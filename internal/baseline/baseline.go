@@ -1,0 +1,169 @@
+// Package baseline defines the neutral specification of the "40 CIS rules
+// common to ConfigValidator, Chef Inspec and CIS-CAT" used by the paper's
+// Table-2 comparison (§4.2). Each CheckSpec describes one check in an
+// engine-independent way; the scriptcheck engine (Inspec-observed style),
+// the xccdf engine (OpenSCAP/CIS-CAT style), and the CVL rule library each
+// provide their native encoding of the same checks.
+package baseline
+
+// CheckSpec is one engine-independent check over a line-oriented
+// configuration file.
+type CheckSpec struct {
+	// ID is a stable check identifier, e.g. "cis_5.2.8_sshd_permitrootlogin".
+	ID string
+	// Title is the human-readable check title.
+	Title string
+	// FilePath is the file inside the entity to scan.
+	FilePath string
+	// Pattern is a line regex whose first capture group extracts the
+	// configured value.
+	Pattern string
+	// Expect is the regex the captured value must match for a pass.
+	Expect string
+	// MissingOK makes the check pass when no line matches Pattern
+	// (secure-by-default parameters).
+	MissingOK bool
+	// CVLTarget and CVLRule reference the equivalent rule in the built-in
+	// CVL library (target name and rule name), keeping the three engines'
+	// encodings aligned.
+	CVLTarget string
+	// CVLRule is the rule name within CVLTarget.
+	CVLRule string
+}
+
+// CIS40 returns the 40 system-service checks of the Table-2 workload:
+// 15 sshd, 15 sysctl, 5 audit, 3 fstab, 2 modprobe.
+func CIS40() []CheckSpec {
+	var out []CheckSpec
+	sshd := func(id, key, expect string, missingOK bool) {
+		out = append(out, CheckSpec{
+			ID:        "cis_sshd_" + id,
+			Title:     "sshd: " + key,
+			FilePath:  "/etc/ssh/sshd_config",
+			Pattern:   `^\s*` + key + `\s+(.+?)\s*$`,
+			Expect:    expect,
+			MissingOK: missingOK,
+			CVLTarget: "sshd",
+			CVLRule:   key,
+		})
+	}
+	sshd("permitrootlogin", "PermitRootLogin", "^no$", false)
+	sshd("protocol", "Protocol", "^2$", true)
+	sshd("x11forwarding", "X11Forwarding", "^no$", false)
+	sshd("maxauthtries", "MaxAuthTries", "^[1-4]$", false)
+	sshd("ignorerhosts", "IgnoreRhosts", "^yes$", true)
+	sshd("hostbasedauth", "HostbasedAuthentication", "^no$", true)
+	sshd("permitemptypasswords", "PermitEmptyPasswords", "^no$", true)
+	sshd("permituserenvironment", "PermitUserEnvironment", "^no$", true)
+	sshd("clientaliveinterval", "ClientAliveInterval", "^([1-9]|[1-9][0-9]|[1-2][0-9][0-9]|300)$", false)
+	sshd("clientalivecountmax", "ClientAliveCountMax", "^[0-3]$", true)
+	sshd("logingracetime", "LoginGraceTime", "^([1-9]|[1-5][0-9]|60)$", false)
+	sshd("usepam", "UsePAM", "^yes$", true)
+	sshd("allowtcpforwarding", "AllowTcpForwarding", "^no$", false)
+	sshd("loglevel", "LogLevel", "^(INFO|VERBOSE)$", true)
+	sshd("banner", "Banner", `^\S+$`, false)
+
+	sysctl := func(id, key, expect string) {
+		out = append(out, CheckSpec{
+			ID:        "cis_sysctl_" + id,
+			Title:     "sysctl: " + key,
+			FilePath:  "/etc/sysctl.conf",
+			Pattern:   `^\s*` + regexpEscapeDots(key) + `\s*=\s*(\S+)`,
+			Expect:    expect,
+			CVLTarget: "sysctl",
+			CVLRule:   dotsToSlashes(key),
+		})
+	}
+	sysctl("ip_forward", "net.ipv4.ip_forward", "^0$")
+	sysctl("all_send_redirects", "net.ipv4.conf.all.send_redirects", "^0$")
+	sysctl("default_send_redirects", "net.ipv4.conf.default.send_redirects", "^0$")
+	sysctl("all_accept_source_route", "net.ipv4.conf.all.accept_source_route", "^0$")
+	sysctl("all_accept_redirects", "net.ipv4.conf.all.accept_redirects", "^0$")
+	sysctl("all_secure_redirects", "net.ipv4.conf.all.secure_redirects", "^0$")
+	sysctl("all_log_martians", "net.ipv4.conf.all.log_martians", "^1$")
+	sysctl("icmp_echo_ignore_broadcasts", "net.ipv4.icmp_echo_ignore_broadcasts", "^1$")
+	sysctl("icmp_ignore_bogus", "net.ipv4.icmp_ignore_bogus_error_responses", "^1$")
+	sysctl("all_rp_filter", "net.ipv4.conf.all.rp_filter", "^1$")
+	sysctl("default_rp_filter", "net.ipv4.conf.default.rp_filter", "^1$")
+	sysctl("tcp_syncookies", "net.ipv4.tcp_syncookies", "^1$")
+	sysctl("ipv6_accept_ra", "net.ipv6.conf.all.accept_ra", "^0$")
+	sysctl("randomize_va_space", "kernel.randomize_va_space", "^2$")
+	sysctl("suid_dumpable", "fs.suid_dumpable", "^0$")
+
+	auditWatch := func(id, path, cvlRule string) {
+		out = append(out, CheckSpec{
+			ID:        "cis_audit_" + id,
+			Title:     "audit: watch " + path,
+			FilePath:  "/etc/audit/audit.rules",
+			Pattern:   `^-w\s+(` + path + `)\s`,
+			Expect:    "^" + path + "$",
+			CVLTarget: "audit",
+			CVLRule:   cvlRule,
+		})
+	}
+	auditWatch("passwd", "/etc/passwd", "audit_identity_passwd")
+	auditWatch("group", "/etc/group", "audit_identity_group")
+	auditWatch("shadow", "/etc/shadow", "audit_identity_shadow")
+	auditWatch("sudoers", "/etc/sudoers", "audit_sudoers")
+	out = append(out, CheckSpec{
+		ID:        "cis_audit_time_change",
+		Title:     "audit: time-change syscalls",
+		FilePath:  "/etc/audit/audit.rules",
+		Pattern:   `^-a\s+always,exit\s+.*-k\s+(time-change)`,
+		Expect:    "^time-change$",
+		CVLTarget: "audit",
+		CVLRule:   "audit_time_change",
+	})
+
+	fstab := func(id, dir, cvlRule string) {
+		out = append(out, CheckSpec{
+			ID:        "cis_fstab_" + id,
+			Title:     "fstab: " + dir + " on a separate partition",
+			FilePath:  "/etc/fstab",
+			Pattern:   `^\S+\s+(` + dir + `)\s`,
+			Expect:    "^" + dir + "$",
+			CVLTarget: "fstab",
+			CVLRule:   cvlRule,
+		})
+	}
+	fstab("tmp", "/tmp", "check_tmp_separate_partition")
+	fstab("var", "/var", "check_var_separate_partition")
+	fstab("home", "/home", "check_home_separate_partition")
+
+	modprobe := func(id, module, cvlRule string) {
+		out = append(out, CheckSpec{
+			ID:        "cis_modprobe_" + id,
+			Title:     "modprobe: disable " + module,
+			FilePath:  "/etc/modprobe.d/cis.conf",
+			Pattern:   `^install\s+` + module + `\s+(\S+)`,
+			Expect:    `^/bin/true$`,
+			CVLTarget: "modprobe",
+			CVLRule:   cvlRule,
+		})
+	}
+	modprobe("cramfs", "cramfs", "disable_cramfs")
+	modprobe("usb_storage", "usb-storage", "disable_usb_storage")
+
+	return out
+}
+
+func regexpEscapeDots(s string) string {
+	out := make([]byte, 0, len(s)+8)
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			out = append(out, '\\')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}
+
+func dotsToSlashes(s string) string {
+	out := []byte(s)
+	for i := range out {
+		if out[i] == '.' {
+			out[i] = '/'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,140 @@
+// Package scriptcheck implements the script-based validation baseline of
+// the paper's Table-2 comparison: the "Observed" Chef Inspec encoding,
+// where each CIS check boils down to a bash grep pipeline
+//
+//	grep '^\s*PermitRootLogin\s' /etc/ssh/sshd_config | head -1
+//
+// followed by a capture and string comparison (Listing 6, bottom). The Go
+// engine reproduces that execution model faithfully: each check
+// independently re-reads and re-scans its target file and re-compiles its
+// expressions, exactly as a per-check shell pipeline would — no shared
+// normalization step, which is the architectural difference the paper
+// highlights against ConfigValidator.
+package scriptcheck
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+
+	"configvalidator/internal/baseline"
+	"configvalidator/internal/entity"
+)
+
+// Check is one script-style check: grep, head -1, extract, compare.
+type Check struct {
+	// ID and Title identify the check.
+	ID    string
+	Title string
+	// File is the file the pipeline greps.
+	File string
+	// Grep is the line pattern (the grep stage).
+	Grep string
+	// Expect is the regex the first capture of Grep must match.
+	Expect string
+	// MissingOK passes the check when grep finds nothing.
+	MissingOK bool
+}
+
+// FromSpec derives the script encoding of a neutral check spec.
+func FromSpec(s baseline.CheckSpec) Check {
+	return Check{
+		ID:        s.ID,
+		Title:     s.Title,
+		File:      s.FilePath,
+		Grep:      s.Pattern,
+		Expect:    s.Expect,
+		MissingOK: s.MissingOK,
+	}
+}
+
+// FromSpecs derives script encodings for a spec list.
+func FromSpecs(specs []baseline.CheckSpec) []Check {
+	out := make([]Check, len(specs))
+	for i, s := range specs {
+		out[i] = FromSpec(s)
+	}
+	return out
+}
+
+// Outcome is one check result.
+type Outcome struct {
+	Check  Check
+	Passed bool
+	// Found is the extracted value, empty when the grep matched nothing.
+	Found string
+	// Err is set when the check could not run (bad regex).
+	Err error
+}
+
+// Engine runs script checks against entities.
+type Engine struct{}
+
+// New creates a script-check engine.
+func New() *Engine { return &Engine{} }
+
+// Run executes every check independently, mirroring one shell pipeline per
+// control. Regexes are deliberately compiled per execution: that is the
+// cost model of spawning grep per check.
+func (e *Engine) Run(ent entity.Entity, checks []Check) []Outcome {
+	out := make([]Outcome, 0, len(checks))
+	for _, c := range checks {
+		out = append(out, e.runOne(ent, c))
+	}
+	return out
+}
+
+func (e *Engine) runOne(ent entity.Entity, c Check) Outcome {
+	o := Outcome{Check: c}
+	grep, err := regexp.Compile(c.Grep)
+	if err != nil {
+		o.Err = fmt.Errorf("scriptcheck %s: grep pattern: %w", c.ID, err)
+		return o
+	}
+	expect, err := regexp.Compile(c.Expect)
+	if err != nil {
+		o.Err = fmt.Errorf("scriptcheck %s: expect pattern: %w", c.ID, err)
+		return o
+	}
+	content, err := ent.ReadFile(c.File)
+	if err != nil {
+		if errors.Is(err, entity.ErrNotExist) {
+			o.Passed = c.MissingOK
+			return o
+		}
+		o.Err = fmt.Errorf("scriptcheck %s: %w", c.ID, err)
+		return o
+	}
+	// grep | head -1: first matching line only.
+	for _, line := range strings.Split(string(content), "\n") {
+		m := grep.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		if len(m) > 1 {
+			o.Found = m[1]
+		} else {
+			o.Found = m[0]
+		}
+		o.Passed = expect.MatchString(o.Found)
+		return o
+	}
+	o.Passed = c.MissingOK
+	return o
+}
+
+// Render returns the bash-style encoding of a check, used by the
+// Listing-6 encoding-size comparison. The shape follows the paper's
+// "Chef Inspec: Ruby (Observed)" listing.
+func Render(c Check) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "control %q do\n", c.ID)
+	fmt.Fprintf(&b, "  title %q\n", c.Title)
+	b.WriteString("  impact 1.0\n")
+	fmt.Fprintf(&b, "  describe bash(\"grep -E '%s' %s | head -1\").stdout.to_s.[](/%s/, 1) do\n",
+		c.Grep, c.File, c.Grep)
+	fmt.Fprintf(&b, "    it { should match(/%s/) }\n", c.Expect)
+	b.WriteString("  end\nend\n")
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package scriptcheck
+
+import (
+	"strings"
+	"testing"
+
+	"configvalidator/internal/baseline"
+	"configvalidator/internal/entity"
+	"configvalidator/internal/fixtures"
+)
+
+func TestRunOnCleanAndDirtyHosts(t *testing.T) {
+	checks := FromSpecs(baseline.CIS40())
+	eng := New()
+
+	clean, _ := fixtures.SystemHost("clean", fixtures.Profile{Seed: 1})
+	for _, o := range eng.Run(clean, checks) {
+		if o.Err != nil {
+			t.Errorf("%s: %v", o.Check.ID, o.Err)
+		}
+		if !o.Passed {
+			t.Errorf("%s failed on clean host (found %q)", o.Check.ID, o.Found)
+		}
+	}
+
+	dirty, _ := fixtures.SystemHost("dirty", fixtures.Profile{Seed: 2, MisconfigRate: 1.0})
+	failed := 0
+	for _, o := range eng.Run(dirty, checks) {
+		if o.Err != nil {
+			t.Errorf("%s: %v", o.Check.ID, o.Err)
+		}
+		if !o.Passed {
+			failed++
+		}
+	}
+	if failed < 30 {
+		t.Errorf("dirty host failed only %d/40 script checks", failed)
+	}
+}
+
+func TestMissingFileSemantics(t *testing.T) {
+	empty := entity.NewMem("empty", entity.TypeHost)
+	strict := Check{ID: "x", File: "/etc/nope", Grep: `^Key\s+(\S+)`, Expect: "^v$"}
+	lenient := strict
+	lenient.MissingOK = true
+	eng := New()
+	if out := eng.Run(empty, []Check{strict}); out[0].Passed || out[0].Err != nil {
+		t.Errorf("strict missing file: %+v", out[0])
+	}
+	if out := eng.Run(empty, []Check{lenient}); !out[0].Passed {
+		t.Errorf("lenient missing file: %+v", out[0])
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	// grep | head -1 semantics: only the first matching line counts.
+	m := entity.NewMem("h", entity.TypeHost)
+	m.AddFile("/etc/app.conf", []byte("Key good\nKey bad\n"))
+	c := Check{ID: "x", File: "/etc/app.conf", Grep: `^Key\s+(\S+)`, Expect: "^good$"}
+	out := New().Run(m, []Check{c})
+	if !out[0].Passed || out[0].Found != "good" {
+		t.Errorf("first-match = %+v", out[0])
+	}
+}
+
+func TestMissingKeySemantics(t *testing.T) {
+	m := entity.NewMem("h", entity.TypeHost)
+	m.AddFile("/etc/app.conf", []byte("Other x\n"))
+	c := Check{ID: "x", File: "/etc/app.conf", Grep: `^Key\s+(\S+)`, Expect: "^v$"}
+	if out := New().Run(m, []Check{c}); out[0].Passed {
+		t.Error("missing key should fail a strict check")
+	}
+	c.MissingOK = true
+	if out := New().Run(m, []Check{c}); !out[0].Passed {
+		t.Error("missing key should pass a MissingOK check")
+	}
+}
+
+func TestBadRegexSurfacesError(t *testing.T) {
+	m := entity.NewMem("h", entity.TypeHost)
+	m.AddFile("/f", []byte("x\n"))
+	for _, c := range []Check{
+		{ID: "badgrep", File: "/f", Grep: "(unclosed", Expect: "x"},
+		{ID: "badexpect", File: "/f", Grep: "(x)", Expect: "(unclosed"},
+	} {
+		out := New().Run(m, []Check{c})
+		if out[0].Err == nil {
+			t.Errorf("%s: expected error", c.ID)
+		}
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	c := FromSpec(baseline.CIS40()[0])
+	rendered := Render(c)
+	for _, want := range []string{"control", "describe bash(", "grep -E", "head -1", "should match"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("rendered check missing %q:\n%s", want, rendered)
+		}
+	}
+	// The paper's observed Inspec encoding is ~7 lines.
+	lines := strings.Count(strings.TrimSpace(rendered), "\n") + 1
+	if lines < 6 || lines > 9 {
+		t.Errorf("rendered check = %d lines, expected ~7 (Listing 6)", lines)
+	}
+}

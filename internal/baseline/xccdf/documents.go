@@ -1,0 +1,78 @@
+package xccdf
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// Documents is a parsed, indexed pair of XCCDF benchmark and OVAL
+// definitions documents, usable by both the evaluation engine and external
+// consumers (such as the XCCDF→CVL importer).
+type Documents struct {
+	// Benchmark is the XCCDF document.
+	Benchmark *Benchmark
+	// Oval is the OVAL definitions document.
+	Oval *OvalDefinitions
+
+	defs   map[string]*Definition
+	tests  map[string]*TFC54Test
+	objs   map[string]*TFC54Object
+	states map[string]*TFC54State
+}
+
+// Parse decodes and indexes the two XML documents.
+func Parse(benchXML, ovalXML []byte) (*Documents, error) {
+	var bench Benchmark
+	if err := xml.Unmarshal(benchXML, &bench); err != nil {
+		return nil, fmt.Errorf("xccdf: parse benchmark: %w", err)
+	}
+	var oval OvalDefinitions
+	if err := xml.Unmarshal(ovalXML, &oval); err != nil {
+		return nil, fmt.Errorf("xccdf: parse oval: %w", err)
+	}
+	d := &Documents{
+		Benchmark: &bench,
+		Oval:      &oval,
+		defs:      make(map[string]*Definition, len(oval.Definitions)),
+		tests:     make(map[string]*TFC54Test, len(oval.Tests)),
+		objs:      make(map[string]*TFC54Object, len(oval.Objects)),
+		states:    make(map[string]*TFC54State, len(oval.States)),
+	}
+	for i := range oval.Definitions {
+		d.defs[oval.Definitions[i].ID] = &oval.Definitions[i]
+	}
+	for i := range oval.Tests {
+		d.tests[oval.Tests[i].ID] = &oval.Tests[i]
+	}
+	for i := range oval.Objects {
+		d.objs[oval.Objects[i].ID] = &oval.Objects[i]
+	}
+	for i := range oval.States {
+		d.states[oval.States[i].ID] = &oval.States[i]
+	}
+	return d, nil
+}
+
+// Definition looks up an OVAL definition by id.
+func (d *Documents) Definition(id string) (*Definition, bool) {
+	out, ok := d.defs[id]
+	return out, ok
+}
+
+// Test looks up an OVAL test by id.
+func (d *Documents) Test(id string) (*TFC54Test, bool) {
+	out, ok := d.tests[id]
+	return out, ok
+}
+
+// Object looks up an OVAL object by id.
+func (d *Documents) Object(id string) (*TFC54Object, bool) {
+	out, ok := d.objs[id]
+	return out, ok
+}
+
+// State looks up an OVAL state by id.
+func (d *Documents) State(id string) (*TFC54State, bool) {
+	out, ok := d.states[id]
+	return out, ok
+}

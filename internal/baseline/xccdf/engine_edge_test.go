@@ -1,0 +1,183 @@
+package xccdf
+
+import (
+	"strings"
+	"testing"
+
+	"configvalidator/internal/entity"
+)
+
+// loadRaw builds an engine from raw XML for edge-case tests.
+func loadRaw(t *testing.T, benchXML, ovalXML string) *Engine {
+	t.Helper()
+	eng, err := Load([]byte(benchXML), []byte(ovalXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+const edgeBench = `<Benchmark id="edge">
+  <Rule id="r1" selected="true"><title>t1</title>
+    <check system="oval"><check-content-ref name="oval:edge:def:1"/></check>
+  </Rule>
+</Benchmark>`
+
+func edgeOval(defBody string) string {
+	return `<oval_definitions>
+  <definitions>
+    <definition id="oval:edge:def:1" class="compliance" version="1">` + defBody + `</definition>
+  </definitions>
+  <tests>
+    <textfilecontent54_test id="oval:t:value" check="all" check_existence="at_least_one_exists">
+      <object object_ref="oval:o:1"/><state state_ref="oval:s:eq"/>
+    </textfilecontent54_test>
+    <textfilecontent54_test id="oval:t:notequal" check="at least one" check_existence="at_least_one_exists">
+      <object object_ref="oval:o:1"/><state state_ref="oval:s:ne"/>
+    </textfilecontent54_test>
+    <textfilecontent54_test id="oval:t:nostate" check="all" check_existence="at_least_one_exists">
+      <object object_ref="oval:o:1"/>
+    </textfilecontent54_test>
+    <textfilecontent54_test id="oval:t:badexist" check="all" check_existence="exactly_11_exist">
+      <object object_ref="oval:o:1"/>
+    </textfilecontent54_test>
+    <textfilecontent54_test id="oval:t:badcheck" check="a majority" check_existence="at_least_one_exists">
+      <object object_ref="oval:o:1"/><state state_ref="oval:s:eq"/>
+    </textfilecontent54_test>
+    <textfilecontent54_test id="oval:t:badop" check="all" check_existence="at_least_one_exists">
+      <object object_ref="oval:o:1"/><state state_ref="oval:s:badop"/>
+    </textfilecontent54_test>
+    <textfilecontent54_test id="oval:t:badobj" check="all" check_existence="at_least_one_exists">
+      <object object_ref="oval:o:missing"/>
+    </textfilecontent54_test>
+    <textfilecontent54_test id="oval:t:badpattern" check="all" check_existence="at_least_one_exists">
+      <object object_ref="oval:o:badre"/>
+    </textfilecontent54_test>
+    <textfilecontent54_test id="oval:t:badpatternop" check="all" check_existence="at_least_one_exists">
+      <object object_ref="oval:o:badop"/>
+    </textfilecontent54_test>
+  </tests>
+  <objects>
+    <textfilecontent54_object id="oval:o:1">
+      <filepath>/etc/app.conf</filepath>
+      <pattern operation="pattern match">^Key\s+(\S+)</pattern>
+      <instance datatype="int">1</instance>
+    </textfilecontent54_object>
+    <textfilecontent54_object id="oval:o:badre">
+      <filepath>/etc/app.conf</filepath>
+      <pattern operation="pattern match">(unclosed</pattern>
+      <instance datatype="int">1</instance>
+    </textfilecontent54_object>
+    <textfilecontent54_object id="oval:o:badop">
+      <filepath>/etc/app.conf</filepath>
+      <pattern operation="substring after">Key</pattern>
+      <instance datatype="int">1</instance>
+    </textfilecontent54_object>
+  </objects>
+  <states>
+    <textfilecontent54_state id="oval:s:eq"><subexpression operation="equals">good</subexpression></textfilecontent54_state>
+    <textfilecontent54_state id="oval:s:ne"><subexpression operation="not equal">bad</subexpression></textfilecontent54_state>
+    <textfilecontent54_state id="oval:s:badop"><subexpression operation="levenshtein">x</subexpression></textfilecontent54_state>
+  </states>
+</oval_definitions>`
+}
+
+func appEntity(value string) *entity.Mem {
+	m := entity.NewMem("h", entity.TypeHost)
+	m.AddFile("/etc/app.conf", []byte("Key "+value+"\n"))
+	return m
+}
+
+func evalOne(t *testing.T, defBody string, ent entity.Entity) RuleResult {
+	t.Helper()
+	eng := loadRaw(t, edgeBench, edgeOval(defBody))
+	res := eng.Evaluate(ent)
+	if len(res) != 1 {
+		t.Fatalf("results = %d", len(res))
+	}
+	return res[0]
+}
+
+func TestCriteriaORAndNegate(t *testing.T) {
+	or := `<criteria operator="OR">
+      <criterion test_ref="oval:t:value"/>
+      <criterion test_ref="oval:t:notequal"/>
+    </criteria>`
+	// value "other": equals-good fails, not-equal-bad passes -> OR true.
+	if r := evalOne(t, or, appEntity("other")); r.Err != nil || !r.Passed {
+		t.Errorf("OR = %+v", r)
+	}
+	negated := `<criteria negate="true"><criterion test_ref="oval:t:value"/></criteria>`
+	if r := evalOne(t, negated, appEntity("good")); r.Err != nil || r.Passed {
+		t.Errorf("negate = %+v", r)
+	}
+	negCriterion := `<criteria><criterion test_ref="oval:t:value" negate="true"/></criteria>`
+	if r := evalOne(t, negCriterion, appEntity("bad")); r.Err != nil || !r.Passed {
+		t.Errorf("negated criterion = %+v", r)
+	}
+	nested := `<criteria operator="AND">
+      <criteria operator="OR">
+        <criterion test_ref="oval:t:value"/>
+        <criterion test_ref="oval:t:notequal"/>
+      </criteria>
+      <criterion test_ref="oval:t:nostate"/>
+    </criteria>`
+	if r := evalOne(t, nested, appEntity("good")); r.Err != nil || !r.Passed {
+		t.Errorf("nested = %+v", r)
+	}
+	empty := `<criteria/>`
+	if r := evalOne(t, empty, appEntity("good")); r.Err == nil {
+		t.Error("empty criteria evaluated")
+	}
+}
+
+func TestTestEdgeErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing test":          `<criteria><criterion test_ref="oval:t:ghost"/></criteria>`,
+		"missing object":        `<criteria><criterion test_ref="oval:t:badobj"/></criteria>`,
+		"bad existence":         `<criteria><criterion test_ref="oval:t:badexist"/></criteria>`,
+		"bad check mode":        `<criteria><criterion test_ref="oval:t:badcheck"/></criteria>`,
+		"bad state op":          `<criteria><criterion test_ref="oval:t:badop"/></criteria>`,
+		"bad object regex":      `<criteria><criterion test_ref="oval:t:badpattern"/></criteria>`,
+		"bad pattern operation": `<criteria><criterion test_ref="oval:t:badpatternop"/></criteria>`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			if r := evalOne(t, body, appEntity("good")); r.Err == nil {
+				t.Errorf("expected evaluation error, got %+v", r)
+			}
+		})
+	}
+}
+
+func TestNotEqualState(t *testing.T) {
+	body := `<criteria><criterion test_ref="oval:t:notequal"/></criteria>`
+	if r := evalOne(t, body, appEntity("bad")); r.Passed {
+		t.Error("not-equal against equal value passed")
+	}
+	if r := evalOne(t, body, appEntity("fine")); !r.Passed {
+		t.Error("not-equal against different value failed")
+	}
+}
+
+func TestNoStateTestIsExistenceOnly(t *testing.T) {
+	body := `<criteria><criterion test_ref="oval:t:nostate"/></criteria>`
+	if r := evalOne(t, body, appEntity("anything")); !r.Passed {
+		t.Error("existence-only test failed on present key")
+	}
+	empty := entity.NewMem("h", entity.TypeHost)
+	if r := evalOne(t, body, empty); r.Passed {
+		t.Error("existence-only test passed on missing file")
+	}
+}
+
+func TestCollectWholeMatchWithoutGroup(t *testing.T) {
+	bench := strings.Replace(edgeBench, "oval:edge:def:1", "oval:edge:def:1", 1)
+	oval := strings.Replace(edgeOval(`<criteria><criterion test_ref="oval:t:nostate"/></criteria>`),
+		`^Key\s+(\S+)`, `^Key\s+\S+`, 1)
+	eng := loadRaw(t, bench, oval)
+	res := eng.Evaluate(appEntity("x"))
+	if len(res) != 1 || res[0].Err != nil || !res[0].Passed {
+		t.Errorf("group-less pattern = %+v", res)
+	}
+}

@@ -1,0 +1,152 @@
+// Package xccdf implements the XCCDF/OVAL validation baseline of the
+// paper's Table-2 comparison: an engine in the style of OpenSCAP and
+// CIS-CAT that evaluates XML benchmark documents whose checks are OVAL
+// textfilecontent54 tests (regex scans over configuration files), plus a
+// generator that emits the verbose XML encoding the paper's Listing 6
+// contrasts with CVL.
+package xccdf
+
+import "encoding/xml"
+
+// Benchmark is an XCCDF benchmark document.
+type Benchmark struct {
+	XMLName xml.Name    `xml:"Benchmark"`
+	ID      string      `xml:"id,attr"`
+	Title   string      `xml:"title"`
+	Rules   []BenchRule `xml:"Rule"`
+}
+
+// BenchRule is one XCCDF rule.
+type BenchRule struct {
+	ID          string    `xml:"id,attr"`
+	Selected    bool      `xml:"selected,attr"`
+	Severity    string    `xml:"severity,attr"`
+	Title       string    `xml:"title"`
+	Description string    `xml:"description"`
+	Rationale   string    `xml:"rationale"`
+	Reference   Reference `xml:"reference"`
+	Ident       Ident     `xml:"ident"`
+	Check       RuleCheck `xml:"check"`
+}
+
+// Reference cites the authority behind a rule.
+type Reference struct {
+	Href string `xml:"href,attr"`
+	Text string `xml:",chardata"`
+}
+
+// Ident carries a CCE-style identifier.
+type Ident struct {
+	System string `xml:"system,attr"`
+	Text   string `xml:",chardata"`
+}
+
+// RuleCheck links a rule to its OVAL definition.
+type RuleCheck struct {
+	System     string     `xml:"system,attr"`
+	ContentRef ContentRef `xml:"check-content-ref"`
+}
+
+// ContentRef names the OVAL definition implementing the check.
+type ContentRef struct {
+	Name string `xml:"name,attr"`
+	Href string `xml:"href,attr"`
+}
+
+// OvalDefinitions is an OVAL definitions document.
+type OvalDefinitions struct {
+	XMLName     xml.Name      `xml:"oval_definitions"`
+	Definitions []Definition  `xml:"definitions>definition"`
+	Tests       []TFC54Test   `xml:"tests>textfilecontent54_test"`
+	Objects     []TFC54Object `xml:"objects>textfilecontent54_object"`
+	States      []TFC54State  `xml:"states>textfilecontent54_state"`
+}
+
+// Definition is one OVAL definition: metadata plus a criteria tree.
+type Definition struct {
+	ID       string   `xml:"id,attr"`
+	Class    string   `xml:"class,attr"`
+	Version  string   `xml:"version,attr"`
+	Metadata Metadata `xml:"metadata"`
+	Criteria Criteria `xml:"criteria"`
+}
+
+// Metadata carries definition descriptions.
+type Metadata struct {
+	Title       string `xml:"title"`
+	Description string `xml:"description"`
+}
+
+// Criteria is a boolean combination of criterion references and nested
+// criteria. Operator defaults to AND.
+type Criteria struct {
+	Operator   string      `xml:"operator,attr"`
+	Negate     bool        `xml:"negate,attr"`
+	Comment    string      `xml:"comment,attr"`
+	Criterias  []Criteria  `xml:"criteria"`
+	Criterions []Criterion `xml:"criterion"`
+}
+
+// Criterion references one test.
+type Criterion struct {
+	TestRef string `xml:"test_ref,attr"`
+	Negate  bool   `xml:"negate,attr"`
+	Comment string `xml:"comment,attr"`
+}
+
+// TFC54Test is an OVAL textfilecontent54_test.
+type TFC54Test struct {
+	ID string `xml:"id,attr"`
+	// Check governs how many collected items must satisfy the states:
+	// "all" or "at least one".
+	Check string `xml:"check,attr"`
+	// CheckExistence governs how many items must exist:
+	// "at_least_one_exists", "none_exist", or "any_exist".
+	CheckExistence string     `xml:"check_existence,attr"`
+	Comment        string     `xml:"comment,attr"`
+	Object         ObjectRef  `xml:"object"`
+	States         []StateRef `xml:"state"`
+}
+
+// ObjectRef references a test's object.
+type ObjectRef struct {
+	Ref string `xml:"object_ref,attr"`
+}
+
+// StateRef references a test's state.
+type StateRef struct {
+	Ref string `xml:"state_ref,attr"`
+}
+
+// TFC54Object is an OVAL textfilecontent54_object: a file and a pattern.
+type TFC54Object struct {
+	ID       string       `xml:"id,attr"`
+	Filepath string       `xml:"filepath"`
+	Pattern  PatternElem  `xml:"pattern"`
+	Instance InstanceElem `xml:"instance"`
+}
+
+// PatternElem is the object's regex, with its operation attribute.
+type PatternElem struct {
+	Operation string `xml:"operation,attr"`
+	Value     string `xml:",chardata"`
+}
+
+// InstanceElem selects which match instances the object collects.
+type InstanceElem struct {
+	Datatype string `xml:"datatype,attr"`
+	Value    string `xml:",chardata"`
+}
+
+// TFC54State is an OVAL textfilecontent54_state constraining collected
+// items.
+type TFC54State struct {
+	ID            string       `xml:"id,attr"`
+	Subexpression *SubexprElem `xml:"subexpression"`
+}
+
+// SubexprElem constrains the first capture group of the object pattern.
+type SubexprElem struct {
+	Operation string `xml:"operation,attr"`
+	Value     string `xml:",chardata"`
+}

@@ -1,0 +1,65 @@
+package cloudsim
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"configvalidator/internal/entity"
+)
+
+// Client crawls a cloud API into an entity. Each endpoint's JSON response
+// is stored as a virtual document under /openstack/, which the registry's
+// JSON lens then normalizes into config trees — validating cloud runtime
+// state through the same pipeline as file-based configuration.
+type Client struct {
+	baseURL string
+	http    *http.Client
+}
+
+// endpoints maps virtual document paths to API paths.
+var endpoints = map[string]string{
+	"/openstack/security_groups.json": "/v2/security-groups",
+	"/openstack/instances.json":       "/v2/instances",
+	"/openstack/users.json":           "/v2/users",
+	"/openstack/identity.json":        "/v2/identity-config",
+}
+
+// NewClient creates a crawler client for the API at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		baseURL: baseURL,
+		http:    &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// Crawl fetches every endpoint and materializes the cloud as an entity
+// named name.
+func (c *Client) Crawl(name string) (*entity.Mem, error) {
+	m := entity.NewMem(name, entity.TypeCloud)
+	for vpath, api := range endpoints {
+		data, err := c.get(api)
+		if err != nil {
+			return nil, fmt.Errorf("crawl %s: %w", api, err)
+		}
+		m.AddFile(vpath, data)
+	}
+	return m, nil
+}
+
+func (c *Client) get(path string) ([]byte, error) {
+	resp, err := c.http.Get(c.baseURL + path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("read body: %w", err)
+	}
+	return body, nil
+}

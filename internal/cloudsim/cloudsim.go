@@ -1,0 +1,208 @@
+// Package cloudsim simulates the cloud entity class of the paper: an
+// OpenStack-like control plane whose configuration lives in runtime state
+// "typically accessible over APIs or HTTP(S) endpoints" (§2.1.3) rather
+// than in files. The simulator serves security groups, instances, users,
+// and identity-service configuration over a JSON HTTP API; the Client
+// crawls those endpoints into virtual JSON documents that the standard JSON
+// lens normalizes, so cloud validation exercises exactly the same rule
+// engine path as file-based targets.
+package cloudsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// SecurityGroupRule is one ingress/egress rule.
+type SecurityGroupRule struct {
+	// Direction is "ingress" or "egress".
+	Direction string `json:"direction"`
+	// Protocol is "tcp", "udp", "icmp", or "any".
+	Protocol string `json:"protocol"`
+	// PortMin and PortMax bound the destination port range.
+	PortMin int `json:"port_range_min"`
+	PortMax int `json:"port_range_max"`
+	// RemoteIPPrefix is the allowed CIDR, e.g. "0.0.0.0/0".
+	RemoteIPPrefix string `json:"remote_ip_prefix"`
+}
+
+// SecurityGroup is a named rule set attached to instances.
+type SecurityGroup struct {
+	ID      string              `json:"id"`
+	Name    string              `json:"name"`
+	Project string              `json:"project"`
+	Rules   []SecurityGroupRule `json:"rules"`
+}
+
+// Instance is a compute instance.
+type Instance struct {
+	ID             string   `json:"id"`
+	Name           string   `json:"name"`
+	Project        string   `json:"project"`
+	Status         string   `json:"status"`
+	SecurityGroups []string `json:"security_groups"`
+}
+
+// User is an identity-service user account.
+type User struct {
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	Enabled bool   `json:"enabled"`
+	// MFAEnabled mirrors multi-factor enforcement per OSSG guidance.
+	MFAEnabled bool `json:"mfa_enabled"`
+}
+
+// IdentityConfig is the keystone-style identity configuration OSSG rules
+// inspect.
+type IdentityConfig struct {
+	// TLSEnabled reports whether API endpoints require TLS.
+	TLSEnabled bool `json:"tls_enabled"`
+	// TokenExpirationSeconds is the auth token lifetime.
+	TokenExpirationSeconds int `json:"token_expiration_seconds"`
+	// AdminToken reports whether the insecure bootstrap admin_token is
+	// still enabled (OSSG says it must be disabled).
+	AdminTokenEnabled bool `json:"admin_token_enabled"`
+	// PasswordMinLength is the password policy minimum length.
+	PasswordMinLength int `json:"password_min_length"`
+}
+
+// Cloud holds the simulated control-plane state. All methods are safe for
+// concurrent use.
+type Cloud struct {
+	mu             sync.RWMutex
+	name           string
+	securityGroups map[string]*SecurityGroup
+	instances      map[string]*Instance
+	users          map[string]*User
+	identity       IdentityConfig
+}
+
+// New creates an empty cloud with secure identity defaults.
+func New(name string) *Cloud {
+	return &Cloud{
+		name:           name,
+		securityGroups: make(map[string]*SecurityGroup),
+		instances:      make(map[string]*Instance),
+		users:          make(map[string]*User),
+		identity: IdentityConfig{
+			TLSEnabled:             true,
+			TokenExpirationSeconds: 3600,
+			PasswordMinLength:      12,
+		},
+	}
+}
+
+// Name returns the cloud's name.
+func (c *Cloud) Name() string { return c.name }
+
+// AddSecurityGroup stores a security group (replacing by ID).
+func (c *Cloud) AddSecurityGroup(sg SecurityGroup) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	copied := sg
+	copied.Rules = append([]SecurityGroupRule(nil), sg.Rules...)
+	c.securityGroups[sg.ID] = &copied
+}
+
+// AddInstance stores an instance (replacing by ID).
+func (c *Cloud) AddInstance(inst Instance) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	copied := inst
+	copied.SecurityGroups = append([]string(nil), inst.SecurityGroups...)
+	c.instances[inst.ID] = &copied
+}
+
+// AddUser stores a user (replacing by ID).
+func (c *Cloud) AddUser(u User) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	copied := u
+	c.users[u.ID] = &copied
+}
+
+// SetIdentityConfig replaces the identity configuration.
+func (c *Cloud) SetIdentityConfig(cfg IdentityConfig) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.identity = cfg
+}
+
+// SecurityGroups returns all groups sorted by ID.
+func (c *Cloud) SecurityGroups() []SecurityGroup {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]SecurityGroup, 0, len(c.securityGroups))
+	for _, sg := range c.securityGroups {
+		out = append(out, *sg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Instances returns all instances sorted by ID.
+func (c *Cloud) Instances() []Instance {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Instance, 0, len(c.instances))
+	for _, in := range c.instances {
+		out = append(out, *in)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Users returns all users sorted by ID.
+func (c *Cloud) Users() []User {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]User, 0, len(c.users))
+	for _, u := range c.users {
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IdentityConfig returns the current identity configuration.
+func (c *Cloud) IdentityConfig() IdentityConfig {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.identity
+}
+
+// Handler returns the HTTP API for the cloud:
+//
+//	GET /v2/security-groups
+//	GET /v2/instances
+//	GET /v2/users
+//	GET /v2/identity-config
+//
+// Responses are JSON objects with a single top-level key matching the
+// resource name, in the OpenStack style.
+func (c *Cloud) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v2/security-groups", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"security_groups": c.SecurityGroups()})
+	})
+	mux.HandleFunc("GET /v2/instances", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"instances": c.Instances()})
+	})
+	mux.HandleFunc("GET /v2/users", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"users": c.Users()})
+	})
+	mux.HandleFunc("GET /v2/identity-config", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"identity": c.IdentityConfig()})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, fmt.Sprintf("encode: %v", err), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,273 @@
+// Package convert imports XCCDF/OVAL checklists into CVL rules — the
+// migration path from the XML-based specification formats the paper
+// compares against (§2.2, §4.2) into the declarative language. Conversion
+// is best-effort and explicit about its limits: every rule that cannot be
+// represented faithfully is reported as Skipped with a reason rather than
+// silently approximated.
+//
+// The importer understands the common shape of compliance OVAL content:
+// textfilecontent54 tests whose object pattern extracts a parameter value
+// from a configuration file and whose state constrains that value, with
+// single-criterion definitions or the OR(absent, value-matches) idiom for
+// secure-by-default parameters.
+package convert
+
+import (
+	"fmt"
+	"path"
+	"regexp"
+	"strings"
+
+	"configvalidator/internal/baseline/xccdf"
+	"configvalidator/internal/cvl"
+)
+
+// Skipped records one XCCDF rule the importer could not convert.
+type Skipped struct {
+	// RuleID is the XCCDF rule identifier.
+	RuleID string
+	// Reason explains why the rule was skipped.
+	Reason string
+}
+
+// Result carries the conversion outcome.
+type Result struct {
+	// Rules are the converted CVL rules, in benchmark order.
+	Rules []*cvl.Rule
+	// Skipped lists rules that could not be converted.
+	Skipped []Skipped
+}
+
+// XCCDFToCVL converts an XCCDF benchmark plus its OVAL definitions into
+// CVL config-tree rules.
+func XCCDFToCVL(benchXML, ovalXML []byte) (*Result, error) {
+	docs, err := xccdf.Parse(benchXML, ovalXML)
+	if err != nil {
+		return nil, fmt.Errorf("convert: %w", err)
+	}
+	out := &Result{}
+	type conv struct {
+		rule    *cvl.Rule
+		xccdfID string
+	}
+	var converted []conv
+	keyCount := make(map[string]int)
+	for _, rule := range docs.Benchmark.Rules {
+		if !rule.Selected {
+			continue
+		}
+		c, reason := convertRule(docs, &rule)
+		if c == nil {
+			out.Skipped = append(out.Skipped, Skipped{RuleID: rule.ID, Reason: reason})
+			continue
+		}
+		converted = append(converted, conv{rule: c, xccdfID: rule.ID})
+		keyCount[c.Key()]++
+	}
+	// Two checks deriving the same key would collide in CVL (the pattern
+	// distinguished them positionally, which a tree rule cannot); skip
+	// every member of such a collision set.
+	for _, c := range converted {
+		if keyCount[c.rule.Key()] > 1 {
+			out.Skipped = append(out.Skipped, Skipped{
+				RuleID: c.xccdfID,
+				Reason: fmt.Sprintf("derived key %q is ambiguous across multiple checks", c.rule.Name),
+			})
+			continue
+		}
+		out.Rules = append(out.Rules, c.rule)
+	}
+	return out, nil
+}
+
+func convertRule(docs *xccdf.Documents, rule *xccdf.BenchRule) (*cvl.Rule, string) {
+	def, ok := docs.Definition(rule.Check.ContentRef.Name)
+	if !ok {
+		return nil, fmt.Sprintf("missing OVAL definition %q", rule.Check.ContentRef.Name)
+	}
+	shape, reason := analyzeCriteria(docs, &def.Criteria)
+	if shape == nil {
+		return nil, reason
+	}
+	obj, ok := docs.Object(shape.objectRef)
+	if !ok {
+		return nil, fmt.Sprintf("missing OVAL object %q", shape.objectRef)
+	}
+	key, ok := extractKey(obj.Pattern.Value)
+	if !ok {
+		return nil, fmt.Sprintf("cannot derive a configuration key from pattern %q", obj.Pattern.Value)
+	}
+	expect, reason := stateExpectation(docs, shape.stateRefs)
+	if expect == "" {
+		return nil, reason
+	}
+
+	r := &cvl.Rule{
+		Type:                  cvl.TypeTree,
+		Name:                  key,
+		Description:           firstNonEmpty(rule.Description, rule.Title),
+		ConfigPath:            []string{""},
+		FileContext:           []string{path.Base(obj.Filepath)},
+		PreferredValue:        []string{expect},
+		PreferredMatch:        cvl.MatchSpec{Kind: cvl.MatchRegex, Quant: cvl.QuantAny},
+		AbsentPass:            shape.absentOK,
+		MatchedDescription:    rule.Title + ": compliant",
+		NotMatchedDescription: rule.Title + ": non-compliant value",
+		NotPresentDescription: key + " is not present",
+		Permission:            -1,
+		MaxPermission:         -1,
+	}
+	if rule.Severity != "" {
+		r.Severity = rule.Severity
+	}
+	r.Tags = []string{"#imported", "#xccdf"}
+	if err := validateConverted(r); err != nil {
+		return nil, err.Error()
+	}
+	return r, ""
+}
+
+// criteriaShape is the recognized structure of a definition's criteria.
+type criteriaShape struct {
+	objectRef string
+	stateRefs []xccdf.StateRef
+	absentOK  bool
+}
+
+// analyzeCriteria recognizes two patterns: a single value test, or
+// OR(none_exist test, value test) on the same object.
+func analyzeCriteria(docs *xccdf.Documents, c *xccdf.Criteria) (*criteriaShape, string) {
+	if len(c.Criterias) > 0 {
+		return nil, "nested criteria are not convertible"
+	}
+	if c.Negate {
+		return nil, "negated criteria are not convertible"
+	}
+	op := strings.ToUpper(c.Operator)
+	switch len(c.Criterions) {
+	case 1:
+		test, ok := docs.Test(c.Criterions[0].TestRef)
+		if !ok {
+			return nil, fmt.Sprintf("missing OVAL test %q", c.Criterions[0].TestRef)
+		}
+		if c.Criterions[0].Negate {
+			return nil, "negated criterion is not convertible"
+		}
+		if test.CheckExistence == "none_exist" {
+			return nil, "pure absence tests are not convertible to tree rules"
+		}
+		return &criteriaShape{objectRef: test.Object.Ref, stateRefs: test.States}, ""
+	case 2:
+		if op != "OR" {
+			return nil, "two-criterion AND is not convertible"
+		}
+		var absent, value *xccdf.TFC54Test
+		for _, crit := range c.Criterions {
+			test, ok := docs.Test(crit.TestRef)
+			if !ok {
+				return nil, fmt.Sprintf("missing OVAL test %q", crit.TestRef)
+			}
+			if test.CheckExistence == "none_exist" {
+				absent = test
+			} else {
+				value = test
+			}
+		}
+		if absent == nil || value == nil {
+			return nil, "OR criteria are convertible only as absent-or-compliant"
+		}
+		if absent.Object.Ref != value.Object.Ref {
+			return nil, "absent and value tests reference different objects"
+		}
+		return &criteriaShape{objectRef: value.Object.Ref, stateRefs: value.States, absentOK: true}, ""
+	default:
+		return nil, fmt.Sprintf("%d-criterion definitions are not convertible", len(c.Criterions))
+	}
+}
+
+func stateExpectation(docs *xccdf.Documents, refs []xccdf.StateRef) (string, string) {
+	if len(refs) != 1 {
+		return "", fmt.Sprintf("expected exactly one state, got %d", len(refs))
+	}
+	state, ok := docs.State(refs[0].Ref)
+	if !ok {
+		return "", fmt.Sprintf("missing OVAL state %q", refs[0].Ref)
+	}
+	if state.Subexpression == nil {
+		return "", "state has no subexpression"
+	}
+	value := strings.TrimSpace(state.Subexpression.Value)
+	switch op := state.Subexpression.Operation; op {
+	case "pattern match":
+		return value, ""
+	case "", "equals":
+		return "^" + regexp.QuoteMeta(value) + "$", ""
+	default:
+		return "", fmt.Sprintf("state operation %q is not convertible", op)
+	}
+}
+
+// extractKey derives the configuration key from an OVAL line pattern by
+// taking the literal run before the first capture group, e.g.
+//
+//	^\s*PermitRootLogin\s+(.+?)\s*$        -> PermitRootLogin
+//	^\s*net\.ipv4\.ip_forward\s*=\s*(\S+)  -> net/ipv4/ip_forward
+func extractKey(pattern string) (string, bool) {
+	s := strings.TrimSpace(pattern)
+	s = strings.TrimPrefix(s, "^")
+	for _, prefix := range []string{`\s*`, `\s+`} {
+		s = strings.TrimPrefix(s, prefix)
+	}
+	var key strings.Builder
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == '\\' && i+1 < len(s):
+			next := s[i+1]
+			if next == '.' || next == '-' || next == '/' {
+				key.WriteByte(next)
+				i += 2
+				continue
+			}
+			// \s etc. terminates the literal key.
+			i = len(s)
+		case c == '(' || c == '[' || c == '*' || c == '+' || c == '?' || c == '{' || c == '$' || c == '|' || c == '.':
+			i = len(s)
+		default:
+			key.WriteByte(c)
+			i++
+		}
+	}
+	out := key.String()
+	if out == "" {
+		return "", false
+	}
+	// Flag-style tokens (audit's "-w", "-a") are positional syntax, not
+	// configuration keys; such checks belong to schema rules, out of this
+	// importer's scope.
+	if out[0] == '-' {
+		return "", false
+	}
+	// Dotted keys address the sysctl-style expanded tree.
+	if strings.Contains(out, ".") && !strings.Contains(out, "/") {
+		out = strings.ReplaceAll(out, ".", "/")
+	}
+	return out, true
+}
+
+func validateConverted(r *cvl.Rule) error {
+	if _, err := regexp.Compile(r.PreferredValue[0]); err != nil {
+		return fmt.Errorf("converted expectation is not a valid regex: %v", err)
+	}
+	return nil
+}
+
+func firstNonEmpty(values ...string) string {
+	for _, v := range values {
+		if v != "" {
+			return v
+		}
+	}
+	return ""
+}

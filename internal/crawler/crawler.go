@@ -1,0 +1,116 @@
+// Package crawler implements the Config Extractor stage of ConfigValidator
+// (§3.1): it walks an entity's configuration search paths, selects a lens
+// for each discovered file, and produces normalized configuration data plus
+// the file metadata that path rules assert on. It is the Go analogue of the
+// agentless system crawler the paper builds on [1].
+package crawler
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"configvalidator/internal/entity"
+	"configvalidator/internal/lens"
+)
+
+// FileConfig is one discovered configuration file, normalized.
+type FileConfig struct {
+	// Path is the file's path inside the entity.
+	Path string
+	// LensName is the lens that parsed the file.
+	LensName string
+	// Result is the normalized tree or table; nil when Err is set.
+	Result *lens.Result
+	// Info is the file's metadata.
+	Info entity.FileInfo
+	// Err records a parse failure; the rule engine surfaces it as an
+	// error-grade validation result rather than aborting the scan.
+	Err error
+}
+
+// Options tune a crawl.
+type Options struct {
+	// MaxFileSize skips files larger than this many bytes (0 = 16 MiB).
+	MaxFileSize int64
+	// IncludeUnrecognized records files with no matching lens (with a nil
+	// Result); by default they are skipped silently.
+	IncludeUnrecognized bool
+}
+
+// Crawler extracts configuration from entities using a lens registry.
+type Crawler struct {
+	registry *lens.Registry
+	opts     Options
+}
+
+// New creates a crawler. A nil registry uses lens.Default().
+func New(registry *lens.Registry, opts Options) *Crawler {
+	if registry == nil {
+		registry = lens.Default()
+	}
+	if opts.MaxFileSize == 0 {
+		opts.MaxFileSize = 16 << 20
+	}
+	return &Crawler{registry: registry, opts: opts}
+}
+
+// Registry exposes the lens registry the crawler uses.
+func (c *Crawler) Registry() *lens.Registry { return c.registry }
+
+// CrawlPaths walks each search path on the entity and normalizes every
+// recognized configuration file. Missing search paths are skipped (an
+// entity without /etc/mysql simply has no MySQL configuration). Files are
+// returned sorted by path, deduplicated across overlapping search paths.
+func (c *Crawler) CrawlPaths(e entity.Entity, searchPaths []string) ([]*FileConfig, error) {
+	seen := make(map[string]bool)
+	var out []*FileConfig
+	for _, root := range searchPaths {
+		err := e.Walk(root, func(fi entity.FileInfo) error {
+			if seen[fi.Path] || fi.IsDir() {
+				return nil
+			}
+			seen[fi.Path] = true
+			fc := c.crawlFile(e, fi)
+			if fc != nil {
+				out = append(out, fc)
+			}
+			return nil
+		})
+		if err != nil {
+			if errors.Is(err, entity.ErrNotExist) {
+				continue
+			}
+			return nil, fmt.Errorf("crawl %s: %w", root, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+func (c *Crawler) crawlFile(e entity.Entity, fi entity.FileInfo) *FileConfig {
+	l, ok := c.registry.ForFile(fi.Path)
+	if !ok {
+		if c.opts.IncludeUnrecognized {
+			return &FileConfig{Path: fi.Path, Info: fi}
+		}
+		return nil
+	}
+	fc := &FileConfig{Path: fi.Path, LensName: l.Name(), Info: fi}
+	if fi.Size > c.opts.MaxFileSize {
+		fc.Err = fmt.Errorf("crawler: %s: file size %d exceeds limit %d", fi.Path, fi.Size, c.opts.MaxFileSize)
+		return fc
+	}
+	content, err := e.ReadFile(fi.Path)
+	if err != nil {
+		fc.Err = fmt.Errorf("crawler: read %s: %w", fi.Path, err)
+		return fc
+	}
+	res, err := l.Parse(fi.Path, content)
+	if err != nil {
+		fc.Err = err
+		return fc
+	}
+	fc.Result = res
+	return fc
+}

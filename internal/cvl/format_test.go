@@ -1,0 +1,107 @@
+package cvl
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// equivalentRules compares the semantic fields of two rules (ignoring
+// Source/Line provenance).
+func equivalentRules(a, b *Rule) bool {
+	ca, cb := *a, *b
+	ca.Source, cb.Source = "", ""
+	ca.Line, cb.Line = 0, 0
+	// Composite expressions compare by canonical rendering.
+	if (ca.CompositeExpr == nil) != (cb.CompositeExpr == nil) {
+		return false
+	}
+	if ca.CompositeExpr != nil {
+		if ca.CompositeExpr.String() != cb.CompositeExpr.String() {
+			return false
+		}
+		ca.CompositeExpr, cb.CompositeExpr = nil, nil
+	}
+	if (ca.Exists == nil) != (cb.Exists == nil) {
+		return false
+	}
+	if ca.Exists != nil {
+		if *ca.Exists != *cb.Exists {
+			return false
+		}
+		ca.Exists, cb.Exists = nil, nil
+	}
+	return reflect.DeepEqual(ca, cb)
+}
+
+func TestFormatParseRoundTripListings(t *testing.T) {
+	for _, src := range []string{listing1, listing2, listing3, listing4} {
+		rf, err := ParseRuleFile("in.yaml", []byte(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := rf.Rules[0]
+		formatted, err := FormatRule(orig)
+		if err != nil {
+			t.Fatalf("format: %v", err)
+		}
+		back, err := ParseRuleFile("out.yaml", formatted)
+		if err != nil {
+			t.Fatalf("re-parse: %v\n%s", err, formatted)
+		}
+		if len(back.Rules) != 1 || !equivalentRules(orig, back.Rules[0]) {
+			t.Errorf("round trip changed rule %q:\nformatted:\n%s\noriginal: %+v\nre-parsed: %+v",
+				orig.Name, formatted, orig, back.Rules[0])
+		}
+	}
+}
+
+func TestFormatRuleFileWithParent(t *testing.T) {
+	rf, err := ParseRuleFile("in.yaml", []byte(listing2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := FormatRuleFile("base/nginx.yaml", rf.Rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseRuleFile("out.yaml", out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if back.Parent != "base/nginx.yaml" || len(back.Rules) != 1 {
+		t.Errorf("parent = %q rules = %d", back.Parent, len(back.Rules))
+	}
+}
+
+func TestFormatPermissionOctal(t *testing.T) {
+	rf, err := ParseRuleFile("in.yaml", []byte(listing4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := FormatRule(rf.Rules[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `permission: "644"`) {
+		t.Errorf("octal permission not preserved:\n%s", out)
+	}
+}
+
+func TestFormatExistsRule(t *testing.T) {
+	rf, err := ParseRuleFile("in.yaml", []byte("path_name: /etc/hosts.equiv\nexists: false\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := FormatRule(rf.Rules[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseRuleFile("out.yaml", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rules[0].Exists == nil || *back.Rules[0].Exists {
+		t.Errorf("exists lost:\n%s", out)
+	}
+}

@@ -1,0 +1,139 @@
+package cvl
+
+import (
+	"fmt"
+
+	"configvalidator/internal/yaml"
+)
+
+// Severity of a lint diagnostic.
+type LintLevel int
+
+// Lint levels.
+const (
+	LintError LintLevel = iota + 1
+	LintWarning
+)
+
+// String returns the level name.
+func (l LintLevel) String() string {
+	if l == LintError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one lint finding.
+type Diagnostic struct {
+	// Level is error (file unusable) or warning (style/maintainability).
+	Level LintLevel
+	// Rule is the rule name the finding concerns, when attributable.
+	Rule string
+	// Msg describes the finding.
+	Msg string
+}
+
+// String renders the diagnostic as "level: [rule] msg".
+func (d Diagnostic) String() string {
+	if d.Rule != "" {
+		return fmt.Sprintf("%s: rule %q: %s", d.Level, d.Rule, d.Msg)
+	}
+	return fmt.Sprintf("%s: %s", d.Level, d.Msg)
+}
+
+// Lint checks a CVL rule file: syntax, unknown keywords (errors), plus
+// maintainability warnings — rules without descriptions or tags, duplicate
+// names, overrides not marked override, and missing output descriptions.
+// The returned slice is empty for a clean file.
+func Lint(path string, content []byte) []Diagnostic {
+	var out []Diagnostic
+	docs, err := yaml.DecodeAll(content)
+	if err != nil {
+		return []Diagnostic{{Level: LintError, Msg: err.Error()}}
+	}
+	var ruleMaps []*yaml.Map
+	for _, doc := range docs {
+		switch v := doc.(type) {
+		case nil:
+		case *yaml.Map:
+			ruleMaps = append(ruleMaps, v)
+		case []any:
+			for _, item := range v {
+				if m, ok := item.(*yaml.Map); ok {
+					ruleMaps = append(ruleMaps, m)
+				} else {
+					out = append(out, Diagnostic{Level: LintError, Msg: fmt.Sprintf("sequence element is %T, want a mapping", item)})
+				}
+			}
+		default:
+			out = append(out, Diagnostic{Level: LintError, Msg: fmt.Sprintf("document is %T, want a mapping", doc)})
+		}
+	}
+	seen := make(map[string]bool)
+	for i, m := range ruleMaps {
+		if m.Len() == 1 && m.Has("parent_cvl_file") {
+			continue
+		}
+		rule, err := ParseRule(m)
+		if err != nil {
+			out = append(out, Diagnostic{Level: LintError, Msg: fmt.Sprintf("rule %d: %v", i+1, err)})
+			continue
+		}
+		if seen[rule.Key()] {
+			out = append(out, Diagnostic{Level: LintError, Rule: rule.Name, Msg: "duplicate rule (same type and name)"})
+		}
+		seen[rule.Key()] = true
+		out = append(out, lintRule(rule)...)
+	}
+	return out
+}
+
+func lintRule(r *Rule) []Diagnostic {
+	var out []Diagnostic
+	warn := func(format string, args ...any) {
+		out = append(out, Diagnostic{Level: LintWarning, Rule: r.Name, Msg: fmt.Sprintf(format, args...)})
+	}
+	if r.Description == "" {
+		warn("missing description")
+	}
+	if len(r.Tags) == 0 {
+		warn("missing tags (add a compliance tag such as \"#cis\")")
+	}
+	switch r.Type {
+	case TypeTree, TypeScript:
+		if len(r.PreferredValue) > 0 && r.NotMatchedDescription == "" {
+			warn("missing not_matched_preferred_value_description")
+		}
+		if r.MatchedDescription == "" {
+			warn("missing matched_description")
+		}
+		if r.Type == TypeTree && !r.AbsentPass && r.NotPresentDescription == "" {
+			warn("missing not_present_description")
+		}
+	case TypeSchema:
+		if r.MatchedDescription == "" {
+			warn("missing matched_description")
+		}
+	case TypeComposite:
+		if r.MatchedDescription == "" {
+			warn("missing matched_description")
+		}
+	}
+	if len(r.PreferredValue) > 0 && r.PreferredMatch.IsZero() {
+		warn("preferred_value without preferred_value_match (defaults to exact,any)")
+	}
+	if len(r.NonPreferredValue) > 0 && r.NonPreferredMatch.IsZero() {
+		warn("non_preferred_value without non_preferred_value_match (defaults to exact,any)")
+	}
+	return out
+}
+
+// HasErrors reports whether any diagnostic is level error.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Level == LintError {
+			return true
+		}
+	}
+	return false
+}

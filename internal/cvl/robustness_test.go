@@ -1,0 +1,57 @@
+package cvl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCompositeParserNoPanic throws random operator soup at the composite
+// expression parser.
+func TestCompositeParserNoPanic(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	tokens := []string{
+		"a.b", "x.y.z", "mysql.ssl-ca.CONFIGPATH=[mysqld].VALUE",
+		"&&", "||", "!", "(", ")", "==", "!=", `"lit"`, "'l'", "bare",
+		".", "..", "[", "]", "=", " ",
+	}
+	for i := 0; i < 3000; i++ {
+		var src string
+		for j := 0; j < 1+r.Intn(10); j++ {
+			src += tokens[r.Intn(len(tokens))]
+			if r.Intn(2) == 0 {
+				src += " "
+			}
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on %q: %v", src, p)
+				}
+			}()
+			_, _ = ParseComposite(src)
+		}()
+	}
+}
+
+// TestRuleParserNoPanic mutates valid rule documents.
+func TestRuleParserNoPanic(t *testing.T) {
+	r := rand.New(rand.NewSource(56))
+	seeds := []string{listing1, listing2, listing3, listing4}
+	alphabet := []byte("abc:-[]{}#'\"\n\t _,")
+	for i := 0; i < 1500; i++ {
+		input := []byte(seeds[r.Intn(len(seeds))])
+		for j := 0; j < 1+r.Intn(6); j++ {
+			pos := r.Intn(len(input))
+			input[pos] = alphabet[r.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on mutated rule: %v\n%s", p, input)
+				}
+			}()
+			_, _ = ParseRuleFile("fuzz.yaml", input)
+			_ = Lint("fuzz.yaml", input)
+		}()
+	}
+}

@@ -1,0 +1,172 @@
+// Package cvlgen generates baseline CVL rules from existing configuration
+// files — tooling for the paper's §6 outlook that "all applications will
+// ship with their configuration profiles possibly defined in CVL". Given a
+// known-good configuration, it emits a golden-config profile: one rule per
+// parameter pinning the current value, which a rule author then prunes and
+// generalizes (e.g. relaxing exact matches to regex ranges).
+package cvlgen
+
+import (
+	"fmt"
+	"path"
+	"strings"
+
+	"configvalidator/internal/configtree"
+	"configvalidator/internal/cvl"
+	"configvalidator/internal/lens"
+	"configvalidator/internal/schema"
+)
+
+// Options tune generation.
+type Options struct {
+	// Tags are attached to every generated rule (default ["#generated"]).
+	Tags []string
+	// MaxRules bounds output (0 = 200); huge configs should be pruned by
+	// a human anyway.
+	MaxRules int
+}
+
+// FromFile normalizes a configuration file with the registry's lens and
+// generates a golden-config rule set. A nil registry uses lens.Default().
+func FromFile(registry *lens.Registry, filePath string, content []byte, opts Options) ([]*cvl.Rule, error) {
+	if registry == nil {
+		registry = lens.Default()
+	}
+	if len(opts.Tags) == 0 {
+		opts.Tags = []string{"#generated"}
+	}
+	if opts.MaxRules == 0 {
+		opts.MaxRules = 200
+	}
+	res, err := registry.Parse(filePath, content)
+	if err != nil {
+		return nil, fmt.Errorf("cvlgen: %w", err)
+	}
+	switch res.Kind {
+	case lens.KindTree:
+		return fromTree(res.Tree, filePath, opts), nil
+	case lens.KindSchema:
+		return fromTable(res.Table, filePath, opts), nil
+	default:
+		return nil, fmt.Errorf("cvlgen: unsupported normalized kind %v", res.Kind)
+	}
+}
+
+// fromTree emits one rule per valued leaf: the key at its section path
+// must keep its current value.
+func fromTree(tree *configtree.Node, filePath string, opts Options) []*cvl.Rule {
+	base := path.Base(filePath)
+	var out []*cvl.Rule
+	var walk func(prefix string, n *configtree.Node)
+	walk = func(prefix string, n *configtree.Node) {
+		for _, c := range n.Children {
+			if len(out) >= opts.MaxRules {
+				return
+			}
+			if len(c.Children) > 0 {
+				childPrefix := c.Label
+				if prefix != "" {
+					childPrefix = prefix + "/" + c.Label
+				}
+				walk(childPrefix, c)
+				continue
+			}
+			if c.Value == "" {
+				// Bare flags become presence checks.
+				out = append(out, &cvl.Rule{
+					Type:                  cvl.TypeTree,
+					Name:                  c.Label,
+					Description:           fmt.Sprintf("Generated: %s must be present in %s.", c.Label, base),
+					ConfigPath:            []string{prefix},
+					FileContext:           []string{base},
+					Tags:                  opts.Tags,
+					MatchedDescription:    c.Label + " is present.",
+					NotPresentDescription: c.Label + " is missing.",
+					Permission:            -1,
+					MaxPermission:         -1,
+				})
+				continue
+			}
+			out = append(out, &cvl.Rule{
+				Type:                  cvl.TypeTree,
+				Name:                  c.Label,
+				Description:           fmt.Sprintf("Generated: %s must keep its baseline value in %s.", c.Label, base),
+				ConfigPath:            []string{prefix},
+				FileContext:           []string{base},
+				PreferredValue:        []string{c.Value},
+				PreferredMatch:        cvl.MatchSpec{Kind: cvl.MatchExact, Quant: cvl.QuantAny},
+				Tags:                  opts.Tags,
+				MatchedDescription:    fmt.Sprintf("%s is %q.", c.Label, c.Value),
+				NotMatchedDescription: fmt.Sprintf("%s deviates from baseline %q.", c.Label, c.Value),
+				NotPresentDescription: c.Label + " is missing.",
+				Permission:            -1,
+				MaxPermission:         -1,
+			})
+		}
+	}
+	walk("", tree)
+	return dedupeByKey(out)
+}
+
+// fromTable emits one expect_rows rule per distinct first-column value:
+// the row must keep existing.
+func fromTable(t *schema.Table, filePath string, opts Options) []*cvl.Rule {
+	if len(t.Columns) == 0 {
+		return nil
+	}
+	keyCol := t.Columns[0]
+	seen := make(map[string]bool)
+	var out []*cvl.Rule
+	for _, row := range t.Rows {
+		if len(out) >= opts.MaxRules {
+			break
+		}
+		key := row[0]
+		if key == "" || seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, &cvl.Rule{
+			Type:                  cvl.TypeSchema,
+			Name:                  "baseline_" + sanitize(key),
+			Description:           fmt.Sprintf("Generated: row with %s=%q must remain in %s.", keyCol, key, path.Base(filePath)),
+			QueryConstraints:      keyCol + " = ?",
+			QueryConstraintsValue: []string{key},
+			ExpectRows:            ">=1",
+			Tags:                  opts.Tags,
+			MatchedDescription:    fmt.Sprintf("%s row %q present.", keyCol, key),
+			NotMatchedDescription: fmt.Sprintf("%s row %q missing.", keyCol, key),
+			Permission:            -1,
+			MaxPermission:         -1,
+		})
+	}
+	return out
+}
+
+func dedupeByKey(rules []*cvl.Rule) []*cvl.Rule {
+	type ident struct{ name, path string }
+	seen := make(map[ident]bool, len(rules))
+	out := rules[:0]
+	for _, r := range rules {
+		id := ident{name: r.Name, path: strings.Join(r.ConfigPath, "|")}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return strings.Trim(b.String(), "_")
+}

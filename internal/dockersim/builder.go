@@ -1,0 +1,153 @@
+package dockersim
+
+import (
+	"io/fs"
+	"time"
+
+	"configvalidator/internal/pkgdb"
+)
+
+// Builder assembles images layer by layer, in the spirit of a Dockerfile:
+// each instruction produces one layer.
+type Builder struct {
+	img *Image
+}
+
+// NewBuilder starts an image build for repository:tag.
+func NewBuilder(repository, tag string) *Builder {
+	return &Builder{img: &Image{Repository: repository, Tag: tag}}
+}
+
+// From copies all layers and config from a base image, like the FROM
+// instruction.
+func (b *Builder) From(base *Image) *Builder {
+	b.img.Layers = append(b.img.Layers, base.Layers...)
+	b.img.Config = base.Config
+	if base.Config.Labels != nil {
+		b.img.Config.Labels = make(map[string]string, len(base.Config.Labels))
+		for k, v := range base.Config.Labels {
+			b.img.Config.Labels[k] = v
+		}
+	}
+	b.img.Config.Env = append([]string(nil), base.Config.Env...)
+	b.img.Config.ExposedPorts = append([]string(nil), base.Config.ExposedPorts...)
+	b.img.Config.Cmd = append([]string(nil), base.Config.Cmd...)
+	return b
+}
+
+// AddFile adds one file in its own layer (like COPY).
+func (b *Builder) AddFile(path string, data []byte, mode fs.FileMode) *Builder {
+	b.img.Layers = append(b.img.Layers, Layer{
+		CreatedBy: "COPY " + path,
+		Entries:   []FileEntry{{Path: path, Data: data, Mode: mode}},
+	})
+	return b
+}
+
+// AddFileOwned adds one file with explicit ownership in its own layer.
+func (b *Builder) AddFileOwned(path string, data []byte, mode fs.FileMode, uid, gid int) *Builder {
+	b.img.Layers = append(b.img.Layers, Layer{
+		CreatedBy: "COPY --chown " + path,
+		Entries:   []FileEntry{{Path: path, Data: data, Mode: mode, UID: uid, GID: gid}},
+	})
+	return b
+}
+
+// Layer appends a pre-built layer (like a RUN step's filesystem delta).
+func (b *Builder) Layer(layer Layer) *Builder {
+	b.img.Layers = append(b.img.Layers, layer)
+	return b
+}
+
+// Remove records a whiteout for path in its own layer (like RUN rm).
+func (b *Builder) Remove(path string) *Builder {
+	b.img.Layers = append(b.img.Layers, Layer{
+		CreatedBy: "RUN rm " + path,
+		Entries:   []FileEntry{{Path: path, Whiteout: true}},
+	})
+	return b
+}
+
+// InstallPackages records package installs in their own layer (like RUN
+// apt-get install).
+func (b *Builder) InstallPackages(pkgs ...pkgdb.Package) *Builder {
+	b.img.Layers = append(b.img.Layers, Layer{
+		CreatedBy: "RUN apt-get install",
+		Packages:  pkgs,
+	})
+	return b
+}
+
+// User sets the image's default user (the USER instruction).
+func (b *Builder) User(user string) *Builder {
+	b.img.Config.User = user
+	return b
+}
+
+// Env appends an environment entry (the ENV instruction).
+func (b *Builder) Env(kv string) *Builder {
+	b.img.Config.Env = append(b.img.Config.Env, kv)
+	return b
+}
+
+// Expose appends an exposed port like "443/tcp" (the EXPOSE instruction).
+func (b *Builder) Expose(port string) *Builder {
+	b.img.Config.ExposedPorts = append(b.img.Config.ExposedPorts, port)
+	return b
+}
+
+// Cmd sets the default command (the CMD instruction).
+func (b *Builder) Cmd(argv ...string) *Builder {
+	b.img.Config.Cmd = argv
+	return b
+}
+
+// Healthcheck sets the HEALTHCHECK command.
+func (b *Builder) Healthcheck(cmd string) *Builder {
+	b.img.Config.Healthcheck = cmd
+	return b
+}
+
+// Label sets an image label.
+func (b *Builder) Label(key, value string) *Builder {
+	if b.img.Config.Labels == nil {
+		b.img.Config.Labels = make(map[string]string)
+	}
+	b.img.Config.Labels[key] = value
+	return b
+}
+
+// Build finalizes and returns the image.
+func (b *Builder) Build() *Image {
+	return b.img
+}
+
+// BaseUbuntu constructs a minimal Ubuntu-like base image with the standard
+// system files the Table-1 system-service rules inspect. The modTime stamps
+// all files for deterministic image IDs.
+func BaseUbuntu(modTime time.Time) *Image {
+	passwd := "root:x:0:0:root:/root:/bin/bash\n" +
+		"daemon:x:1:1:daemon:/usr/sbin:/usr/sbin/nologin\n" +
+		"www-data:x:33:33:www-data:/var/www:/usr/sbin/nologin\n"
+	group := "root:x:0:\nshadow:x:42:\nwww-data:x:33:\n"
+	base := Layer{
+		CreatedBy: "FROM scratch (ubuntu base)",
+		Entries: []FileEntry{
+			{Path: "/etc/passwd", Data: []byte(passwd), Mode: 0o644, ModTime: modTime},
+			{Path: "/etc/group", Data: []byte(group), Mode: 0o644, ModTime: modTime},
+			{Path: "/etc/fstab", Data: []byte("/dev/sda1 / ext4 errors=remount-ro 0 1\n"), Mode: 0o644, ModTime: modTime},
+			{Path: "/etc/sysctl.conf", Data: []byte("net.ipv4.ip_forward = 0\n"), Mode: 0o644, ModTime: modTime},
+			{Path: "/etc/ssh/sshd_config", Data: []byte("Port 22\nPermitRootLogin no\nProtocol 2\n"), Mode: 0o600, ModTime: modTime},
+		},
+		Packages: []pkgdb.Package{
+			{Name: "base-files", Version: "9.4ubuntu4", Architecture: "amd64", Status: "install ok installed"},
+			{Name: "openssh-server", Version: "1:7.2p2-4ubuntu2.8", Architecture: "amd64", Status: "install ok installed"},
+		},
+	}
+	return &Image{
+		Repository: "ubuntu",
+		Tag:        "16.04",
+		Layers:     []Layer{base},
+		Config:     ImageConfig{Cmd: []string{"/bin/bash"}},
+	}
+}

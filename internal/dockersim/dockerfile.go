@@ -1,0 +1,245 @@
+package dockersim
+
+import (
+	"fmt"
+	"io/fs"
+	"strconv"
+	"strings"
+
+	"configvalidator/internal/pkgdb"
+)
+
+// BuildContext supplies the files a Dockerfile's COPY instructions read,
+// keyed by context-relative path.
+type BuildContext map[string][]byte
+
+// BaseResolver resolves FROM references to base images (a registry Pull,
+// typically).
+type BaseResolver func(ref string) (*Image, error)
+
+// ParseDockerfile builds an image from Dockerfile text against a build
+// context. Supported instructions (the subset that affects validation):
+//
+//	FROM <ref>                   resolve via bases (or scratch)
+//	COPY <src> <dst>             one layer per instruction
+//	COPY --chown=u:g <src> <dst>
+//	RUN rm <path>                whiteout layer
+//	RUN apt-get install <p>=<v>  package-database layer
+//	USER / ENV / EXPOSE / CMD / HEALTHCHECK / LABEL
+//
+// Unknown instructions are rejected; this is a simulator, and silently
+// ignoring an instruction would make scan results lie.
+func ParseDockerfile(repository, tag string, dockerfile string, ctx BuildContext, bases BaseResolver) (*Image, error) {
+	b := NewBuilder(repository, tag)
+	lines := strings.Split(strings.ReplaceAll(dockerfile, "\r\n", "\n"), "\n")
+	lineNo := 0
+	for i := 0; i < len(lines); i++ {
+		lineNo = i + 1
+		line := strings.TrimSpace(lines[i])
+		for strings.HasSuffix(line, "\\") && i+1 < len(lines) {
+			i++
+			line = strings.TrimSuffix(line, "\\") + " " + strings.TrimSpace(lines[i])
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		instr := strings.ToUpper(fields[0])
+		args := fields[1:]
+		rest := strings.TrimSpace(line[len(fields[0]):])
+		var err error
+		switch instr {
+		case "FROM":
+			err = applyFrom(b, args, bases)
+		case "COPY", "ADD":
+			err = applyCopy(b, args, ctx)
+		case "RUN":
+			err = applyRun(b, args)
+		case "USER":
+			if len(args) != 1 {
+				err = fmt.Errorf("USER takes one argument")
+			} else {
+				b.User(args[0])
+			}
+		case "ENV":
+			err = applyEnv(b, args)
+		case "EXPOSE":
+			for _, port := range args {
+				if !strings.Contains(port, "/") {
+					port += "/tcp"
+				}
+				b.Expose(port)
+			}
+		case "CMD":
+			b.Cmd(parseExecForm(rest)...)
+		case "HEALTHCHECK":
+			if len(args) > 0 && strings.EqualFold(args[0], "NONE") {
+				b.Healthcheck("")
+			} else {
+				b.Healthcheck(strings.TrimSpace(strings.TrimPrefix(rest, "CMD")))
+			}
+		case "LABEL":
+			err = applyLabel(b, rest)
+		case "WORKDIR", "ENTRYPOINT", "ARG", "STOPSIGNAL", "SHELL", "VOLUME", "MAINTAINER":
+			// Accepted no-ops: they don't affect configuration validation.
+		default:
+			err = fmt.Errorf("unsupported instruction %s", instr)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dockersim: Dockerfile line %d: %w", lineNo, err)
+		}
+	}
+	return b.Build(), nil
+}
+
+func applyFrom(b *Builder, args []string, bases BaseResolver) error {
+	if len(args) < 1 {
+		return fmt.Errorf("FROM requires an image reference")
+	}
+	ref := args[0]
+	if ref == "scratch" {
+		return nil
+	}
+	if bases == nil {
+		return fmt.Errorf("FROM %s: no base resolver provided", ref)
+	}
+	base, err := bases(ref)
+	if err != nil {
+		return fmt.Errorf("FROM %s: %w", ref, err)
+	}
+	b.From(base)
+	return nil
+}
+
+func applyCopy(b *Builder, args []string, ctx BuildContext) error {
+	mode := fs.FileMode(0o644)
+	uid, gid := 0, 0
+	for len(args) > 0 && strings.HasPrefix(args[0], "--") {
+		opt := args[0]
+		args = args[1:]
+		switch {
+		case strings.HasPrefix(opt, "--chown="):
+			parts := strings.SplitN(strings.TrimPrefix(opt, "--chown="), ":", 2)
+			u, err := strconv.Atoi(parts[0])
+			if err != nil {
+				return fmt.Errorf("--chown requires numeric ids in the simulator")
+			}
+			uid, gid = u, u
+			if len(parts) == 2 {
+				g, err := strconv.Atoi(parts[1])
+				if err != nil {
+					return fmt.Errorf("--chown requires numeric ids in the simulator")
+				}
+				gid = g
+			}
+		case strings.HasPrefix(opt, "--chmod="):
+			n, err := strconv.ParseUint(strings.TrimPrefix(opt, "--chmod="), 8, 32)
+			if err != nil {
+				return fmt.Errorf("--chmod: %v", err)
+			}
+			mode = fs.FileMode(n)
+		default:
+			return fmt.Errorf("unsupported COPY option %s", opt)
+		}
+	}
+	if len(args) != 2 {
+		return fmt.Errorf("COPY requires exactly <src> <dst> in the simulator")
+	}
+	src, dst := args[0], args[1]
+	content, ok := ctx[src]
+	if !ok {
+		return fmt.Errorf("COPY %s: not in build context", src)
+	}
+	if strings.HasSuffix(dst, "/") {
+		base := src
+		if idx := strings.LastIndexByte(src, '/'); idx >= 0 {
+			base = src[idx+1:]
+		}
+		dst += base
+	}
+	b.AddFileOwned(dst, content, mode, uid, gid)
+	return nil
+}
+
+// applyRun supports the two RUN shapes that change validated state.
+func applyRun(b *Builder, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("RUN requires a command")
+	}
+	cmd := strings.Join(args, " ")
+	switch {
+	case args[0] == "rm":
+		for _, target := range args[1:] {
+			if strings.HasPrefix(target, "-") {
+				continue
+			}
+			b.Remove(target)
+		}
+		return nil
+	case strings.HasPrefix(cmd, "apt-get install"):
+		var pkgs []pkgdb.Package
+		for _, spec := range args[2:] {
+			if strings.HasPrefix(spec, "-") {
+				continue
+			}
+			name, version := spec, ""
+			if idx := strings.IndexByte(spec, '='); idx >= 0 {
+				name, version = spec[:idx], spec[idx+1:]
+			}
+			pkgs = append(pkgs, pkgdb.Package{Name: name, Version: version, Status: "install ok installed"})
+		}
+		if len(pkgs) == 0 {
+			return fmt.Errorf("apt-get install with no packages")
+		}
+		b.InstallPackages(pkgs...)
+		return nil
+	default:
+		return fmt.Errorf("unsupported RUN command %q (the simulator executes only 'rm' and 'apt-get install')", cmd)
+	}
+}
+
+func applyEnv(b *Builder, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("ENV requires arguments")
+	}
+	// ENV KEY=value [KEY=value...] or legacy "ENV KEY value".
+	if !strings.Contains(args[0], "=") {
+		if len(args) < 2 {
+			return fmt.Errorf("ENV %s: missing value", args[0])
+		}
+		b.Env(args[0] + "=" + strings.Join(args[1:], " "))
+		return nil
+	}
+	for _, kv := range args {
+		if !strings.Contains(kv, "=") {
+			return fmt.Errorf("ENV entry %q is not KEY=value", kv)
+		}
+		b.Env(kv)
+	}
+	return nil
+}
+
+func applyLabel(b *Builder, rest string) error {
+	for _, kv := range strings.Fields(rest) {
+		idx := strings.IndexByte(kv, '=')
+		if idx <= 0 {
+			return fmt.Errorf("LABEL entry %q is not key=value", kv)
+		}
+		b.Label(strings.Trim(kv[:idx], `"`), strings.Trim(kv[idx+1:], `"`))
+	}
+	return nil
+}
+
+// parseExecForm handles CMD ["a", "b"] and shell-form CMD a b.
+func parseExecForm(rest string) []string {
+	rest = strings.TrimSpace(rest)
+	if strings.HasPrefix(rest, "[") && strings.HasSuffix(rest, "]") {
+		inner := rest[1 : len(rest)-1]
+		var out []string
+		for _, part := range strings.Split(inner, ",") {
+			out = append(out, strings.Trim(strings.TrimSpace(part), `"`))
+		}
+		return out
+	}
+	return strings.Fields(rest)
+}

@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+
+	"configvalidator/internal/cvl"
+)
+
+// matcher evaluates CVL value-match specifications with a shared compiled
+// regex cache.
+type matcher struct {
+	mu    sync.Mutex
+	cache map[string]*regexp.Regexp
+}
+
+func newMatcher() *matcher {
+	return &matcher{cache: make(map[string]*regexp.Regexp)}
+}
+
+// defaults for unspecified match specs: a value passes when it equals any
+// preferred value, and fails when it equals any non-preferred value.
+var (
+	defaultPreferredSpec    = cvl.MatchSpec{Kind: cvl.MatchExact, Quant: cvl.QuantAny}
+	defaultNonPreferredSpec = cvl.MatchSpec{Kind: cvl.MatchExact, Quant: cvl.QuantAny}
+)
+
+// valueMatches reports whether value matches the expected set under spec.
+func (m *matcher) valueMatches(value string, expected []string, spec cvl.MatchSpec, caseInsensitive bool) (bool, error) {
+	if len(expected) == 0 {
+		return false, nil
+	}
+	matched := 0
+	for _, e := range expected {
+		ok, err := m.matchOne(value, e, spec.Kind, caseInsensitive)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			if spec.Quant == cvl.QuantAny {
+				return true, nil
+			}
+			matched++
+		} else if spec.Quant == cvl.QuantAll {
+			return false, nil
+		}
+	}
+	return spec.Quant == cvl.QuantAll && matched == len(expected), nil
+}
+
+func (m *matcher) matchOne(value, expected string, kind cvl.MatchKind, caseInsensitive bool) (bool, error) {
+	if caseInsensitive && kind != cvl.MatchRegex {
+		value = strings.ToLower(value)
+		expected = strings.ToLower(expected)
+	}
+	switch kind {
+	case cvl.MatchExact:
+		return value == expected, nil
+	case cvl.MatchSubstr:
+		return strings.Contains(value, expected), nil
+	case cvl.MatchRegex:
+		re, err := m.compile(expected, caseInsensitive)
+		if err != nil {
+			return false, err
+		}
+		return re.MatchString(value), nil
+	default:
+		return false, fmt.Errorf("engine: unknown match kind %d", kind)
+	}
+}
+
+func (m *matcher) compile(pattern string, caseInsensitive bool) (*regexp.Regexp, error) {
+	key := pattern
+	if caseInsensitive {
+		key = "(?i)" + pattern
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if re, ok := m.cache[key]; ok {
+		return re, nil
+	}
+	re, err := regexp.Compile(key)
+	if err != nil {
+		return nil, fmt.Errorf("engine: regex %q: %w", pattern, err)
+	}
+	m.cache[key] = re
+	return re, nil
+}
+
+// checkValue applies a rule's preferred / non-preferred matchers to one
+// candidate value. Returns pass/fail plus a short reason for the report.
+func (m *matcher) checkValue(rule *cvl.Rule, value string) (bool, string, error) {
+	nonPrefSpec := rule.NonPreferredMatch
+	if nonPrefSpec.IsZero() {
+		nonPrefSpec = defaultNonPreferredSpec
+	}
+	if len(rule.NonPreferredValue) > 0 {
+		bad, err := m.valueMatches(value, rule.NonPreferredValue, nonPrefSpec, rule.CaseInsensitive)
+		if err != nil {
+			return false, "", err
+		}
+		if bad {
+			return false, fmt.Sprintf("value %q matches a non-preferred value", value), nil
+		}
+	}
+	if len(rule.PreferredValue) > 0 {
+		prefSpec := rule.PreferredMatch
+		if prefSpec.IsZero() {
+			prefSpec = defaultPreferredSpec
+		}
+		good, err := m.valueMatches(value, rule.PreferredValue, prefSpec, rule.CaseInsensitive)
+		if err != nil {
+			return false, "", err
+		}
+		if !good {
+			return false, fmt.Sprintf("value %q does not match the preferred values", value), nil
+		}
+		return true, fmt.Sprintf("value %q matches", value), nil
+	}
+	return true, fmt.Sprintf("value %q has no non-preferred match", value), nil
+}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"configvalidator/internal/cvl"
+)
+
+func TestValueMatchesKinds(t *testing.T) {
+	m := newMatcher()
+	tests := []struct {
+		name     string
+		value    string
+		expected []string
+		spec     cvl.MatchSpec
+		ci       bool
+		want     bool
+	}{
+		{"exact any hit", "no", []string{"yes", "no"}, cvl.MatchSpec{Kind: cvl.MatchExact, Quant: cvl.QuantAny}, false, true},
+		{"exact any miss", "maybe", []string{"yes", "no"}, cvl.MatchSpec{Kind: cvl.MatchExact, Quant: cvl.QuantAny}, false, false},
+		{"exact all single", "no", []string{"no"}, cvl.MatchSpec{Kind: cvl.MatchExact, Quant: cvl.QuantAll}, false, true},
+		{"exact all multi impossible", "no", []string{"no", "yes"}, cvl.MatchSpec{Kind: cvl.MatchExact, Quant: cvl.QuantAll}, false, false},
+		{"substr all", "TLSv1.2 TLSv1.3", []string{"TLSv1.2", "TLSv1.3"}, cvl.MatchSpec{Kind: cvl.MatchSubstr, Quant: cvl.QuantAll}, false, true},
+		{"substr all partial", "TLSv1.2", []string{"TLSv1.2", "TLSv1.3"}, cvl.MatchSpec{Kind: cvl.MatchSubstr, Quant: cvl.QuantAll}, false, false},
+		{"substr any", "SSLv3 enabled", []string{"SSLv2", "SSLv3"}, cvl.MatchSpec{Kind: cvl.MatchSubstr, Quant: cvl.QuantAny}, false, true},
+		{"regex any", "without-password", []string{"^(no|without-password)$"}, cvl.MatchSpec{Kind: cvl.MatchRegex, Quant: cvl.QuantAny}, false, true},
+		{"case-insensitive exact", "NO", []string{"no"}, cvl.MatchSpec{Kind: cvl.MatchExact, Quant: cvl.QuantAny}, true, true},
+		{"case-insensitive regex", "Yes", []string{"^yes$"}, cvl.MatchSpec{Kind: cvl.MatchRegex, Quant: cvl.QuantAny}, true, true},
+		{"empty expected", "x", nil, cvl.MatchSpec{Kind: cvl.MatchExact, Quant: cvl.QuantAny}, false, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := m.valueMatches(tt.value, tt.expected, tt.spec, tt.ci)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("valueMatches(%q, %v, %v) = %v, want %v", tt.value, tt.expected, tt.spec, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMatcherBadRegex(t *testing.T) {
+	m := newMatcher()
+	if _, err := m.valueMatches("x", []string{"(unclosed"}, cvl.MatchSpec{Kind: cvl.MatchRegex, Quant: cvl.QuantAny}, false); err == nil {
+		t.Error("bad regex accepted")
+	}
+}
+
+func TestMatcherRegexCacheReuse(t *testing.T) {
+	m := newMatcher()
+	for i := 0; i < 3; i++ {
+		ok, err := m.valueMatches("abc", []string{"^a.c$"}, cvl.MatchSpec{Kind: cvl.MatchRegex, Quant: cvl.QuantAll}, false)
+		if err != nil || !ok {
+			t.Fatal(ok, err)
+		}
+	}
+	if len(m.cache) != 1 {
+		t.Errorf("cache entries = %d", len(m.cache))
+	}
+	// Case-insensitive variant caches separately.
+	if _, err := m.valueMatches("ABC", []string{"^a.c$"}, cvl.MatchSpec{Kind: cvl.MatchRegex, Quant: cvl.QuantAll}, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.cache) != 2 {
+		t.Errorf("cache entries = %d", len(m.cache))
+	}
+}
+
+// TestQuickAnyAllDuality property-tests the matcher algebra: for exact and
+// substr kinds, any(value, set) == !all-fail and all(value, set) implies
+// any(value, set).
+func TestQuickAnyAllDuality(t *testing.T) {
+	m := newMatcher()
+	r := rand.New(rand.NewSource(77))
+	words := []string{"a", "b", "ab", "ba", "abc", "", "aa"}
+	kinds := []cvl.MatchKind{cvl.MatchExact, cvl.MatchSubstr}
+	for i := 0; i < 2000; i++ {
+		value := words[r.Intn(len(words))] + words[r.Intn(len(words))]
+		n := 1 + r.Intn(3)
+		set := make([]string, n)
+		for j := range set {
+			set[j] = words[r.Intn(len(words))]
+		}
+		kind := kinds[r.Intn(2)]
+		anyMatch, err := m.valueMatches(value, set, cvl.MatchSpec{Kind: kind, Quant: cvl.QuantAny}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allMatch, err := m.valueMatches(value, set, cvl.MatchSpec{Kind: kind, Quant: cvl.QuantAll}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// all implies any.
+		if allMatch && !anyMatch {
+			t.Fatalf("all without any: value %q set %v kind %v", value, set, kind)
+		}
+		// any == exists a member that matches individually.
+		exists := false
+		for _, e := range set {
+			var one bool
+			if kind == cvl.MatchExact {
+				one = value == e
+			} else {
+				one = strings.Contains(value, e)
+			}
+			if one {
+				exists = true
+			}
+		}
+		if anyMatch != exists {
+			t.Fatalf("any mismatch: value %q set %v kind %v: %v vs %v", value, set, kind, anyMatch, exists)
+		}
+	}
+}

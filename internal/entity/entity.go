@@ -1,0 +1,372 @@
+// Package entity defines the abstraction ConfigValidator validates against.
+// Following the paper (§2), an "entity" is an application, host, container,
+// Docker image, or cloud runtime. The Entity interface exposes the three
+// configuration classes of §2.1: configuration files (ReadFile/Walk), system
+// state (Stat metadata, Packages), and custom runtime configuration
+// (RunFeature, backed by crawler plugins).
+package entity
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+	"time"
+
+	"configvalidator/internal/pkgdb"
+)
+
+// Type classifies an entity, mirroring the paper's target environments.
+type Type int
+
+// Entity types.
+const (
+	TypeHost Type = iota + 1
+	TypeImage
+	TypeContainer
+	TypeCloud
+	TypeFrame
+)
+
+// String returns the type name.
+func (t Type) String() string {
+	switch t {
+	case TypeHost:
+		return "host"
+	case TypeImage:
+		return "image"
+	case TypeContainer:
+		return "container"
+	case TypeCloud:
+		return "cloud"
+	case TypeFrame:
+		return "frame"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// ParseType converts a type name back to a Type.
+func ParseType(s string) (Type, error) {
+	switch s {
+	case "host":
+		return TypeHost, nil
+	case "image":
+		return TypeImage, nil
+	case "container":
+		return TypeContainer, nil
+	case "cloud":
+		return TypeCloud, nil
+	case "frame":
+		return TypeFrame, nil
+	default:
+		return 0, fmt.Errorf("entity: unknown type %q", s)
+	}
+}
+
+// ErrNotExist reports a path absent from the entity.
+var ErrNotExist = errors.New("entity: path does not exist")
+
+// ErrNoFeature reports a runtime feature the entity cannot provide.
+var ErrNoFeature = errors.New("entity: runtime feature not available")
+
+// FileInfo is the metadata rule engine path rules assert on (§2.1.2).
+type FileInfo struct {
+	// Path is the absolute path inside the entity.
+	Path string
+	// Size is the content length in bytes.
+	Size int64
+	// Mode carries the permission bits and directory flag.
+	Mode fs.FileMode
+	// UID and GID are the numeric owner and group.
+	UID int
+	GID int
+	// ModTime is the last modification time.
+	ModTime time.Time
+}
+
+// IsDir reports whether the path is a directory.
+func (fi FileInfo) IsDir() bool { return fi.Mode.IsDir() }
+
+// Perm returns the permission bits as an octal integer (e.g. 0o644).
+func (fi FileInfo) Perm() int { return int(fi.Mode.Perm()) }
+
+// Ownership formats owner as "uid:gid", the notation used by CVL path rules.
+func (fi FileInfo) Ownership() string { return fmt.Sprintf("%d:%d", fi.UID, fi.GID) }
+
+// Entity is a validation target.
+type Entity interface {
+	// Name identifies the entity (hostname, image tag, container id, ...).
+	Name() string
+	// Type reports the entity class.
+	Type() Type
+	// ReadFile returns the content of the file at path.
+	ReadFile(path string) ([]byte, error)
+	// Stat returns metadata for the file or directory at path.
+	Stat(path string) (FileInfo, error)
+	// Walk visits every file under root in lexical order.
+	Walk(root string, fn func(FileInfo) error) error
+	// Packages returns the installed-software database.
+	Packages() (*pkgdb.DB, error)
+	// RunFeature executes a named crawler plugin against the entity's
+	// runtime state and returns its raw output (paper §2.1.3: custom
+	// configurations retrieved by entity-specific commands or APIs).
+	RunFeature(name string) (string, error)
+	// Features lists the runtime plugins this entity can answer, sorted.
+	Features() []string
+}
+
+// Mem is an in-memory Entity used by the simulators, the frame reader, and
+// tests. The zero value is not usable; construct with NewMem.
+type Mem struct {
+	name     string
+	typ      Type
+	files    map[string]*memFile
+	dirs     map[string]memDir
+	packages []pkgdb.Package
+	features map[string]string
+}
+
+type memFile struct {
+	data    []byte
+	mode    fs.FileMode
+	uid     int
+	gid     int
+	modTime time.Time
+}
+
+type memDir struct {
+	mode fs.FileMode
+	uid  int
+	gid  int
+}
+
+var _ Entity = (*Mem)(nil)
+
+// NewMem creates an empty in-memory entity.
+func NewMem(name string, typ Type) *Mem {
+	return &Mem{
+		name:     name,
+		typ:      typ,
+		files:    make(map[string]*memFile),
+		dirs:     map[string]memDir{"/": {mode: fs.ModeDir | 0o755}},
+		features: make(map[string]string),
+	}
+}
+
+// FileOption customizes file metadata in AddFile.
+type FileOption func(*memFile)
+
+// WithMode sets the permission bits.
+func WithMode(mode fs.FileMode) FileOption {
+	return func(f *memFile) { f.mode = (f.mode & fs.ModeDir) | mode.Perm() }
+}
+
+// WithOwner sets the numeric owner and group.
+func WithOwner(uid, gid int) FileOption {
+	return func(f *memFile) { f.uid, f.gid = uid, gid }
+}
+
+// WithModTime sets the modification time.
+func WithModTime(t time.Time) FileOption {
+	return func(f *memFile) { f.modTime = t }
+}
+
+// AddFile stores a file, creating parent directories as needed. The default
+// mode is 0644 root:root.
+func (m *Mem) AddFile(path string, data []byte, opts ...FileOption) {
+	path = Clean(path)
+	f := &memFile{data: data, mode: 0o644}
+	for _, o := range opts {
+		o(f)
+	}
+	m.files[path] = f
+	m.ensureParents(path)
+}
+
+// AddDir creates a directory (and parents). Default mode 0755 root:root.
+func (m *Mem) AddDir(path string, opts ...FileOption) {
+	path = Clean(path)
+	f := &memFile{mode: fs.ModeDir | 0o755}
+	for _, o := range opts {
+		o(f)
+	}
+	m.dirs[path] = memDir{mode: fs.ModeDir | f.mode.Perm(), uid: f.uid, gid: f.gid}
+	m.ensureParents(path)
+}
+
+// RemoveFile deletes a file if present.
+func (m *Mem) RemoveFile(path string) {
+	delete(m.files, Clean(path))
+}
+
+// SetPackages replaces the package list.
+func (m *Mem) SetPackages(packages []pkgdb.Package) {
+	m.packages = append([]pkgdb.Package(nil), packages...)
+}
+
+// AddPackage appends one package.
+func (m *Mem) AddPackage(p pkgdb.Package) {
+	m.packages = append(m.packages, p)
+}
+
+// SetFeature records the output of a runtime crawler plugin.
+func (m *Mem) SetFeature(name, output string) {
+	m.features[name] = output
+}
+
+// Name implements Entity.
+func (m *Mem) Name() string { return m.name }
+
+// Type implements Entity.
+func (m *Mem) Type() Type { return m.typ }
+
+// ReadFile implements Entity.
+func (m *Mem) ReadFile(path string) ([]byte, error) {
+	f, ok := m.files[Clean(path)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	return out, nil
+}
+
+// Stat implements Entity.
+func (m *Mem) Stat(path string) (FileInfo, error) {
+	path = Clean(path)
+	if f, ok := m.files[path]; ok {
+		return FileInfo{
+			Path:    path,
+			Size:    int64(len(f.data)),
+			Mode:    f.mode,
+			UID:     f.uid,
+			GID:     f.gid,
+			ModTime: f.modTime,
+		}, nil
+	}
+	if d, ok := m.dirs[path]; ok {
+		return FileInfo{Path: path, Mode: d.mode, UID: d.uid, GID: d.gid}, nil
+	}
+	return FileInfo{}, fmt.Errorf("%w: %s", ErrNotExist, path)
+}
+
+// Walk implements Entity. Directories under root are visited too (their
+// FileInfo has IsDir set), so consumers that only care about files must
+// skip them; metadata consumers such as the frame writer rely on seeing
+// them.
+func (m *Mem) Walk(root string, fn func(FileInfo) error) error {
+	root = Clean(root)
+	if _, ok := m.dirs[root]; !ok {
+		if fi, err := m.Stat(root); err == nil {
+			return fn(fi)
+		}
+		return fmt.Errorf("%w: %s", ErrNotExist, root)
+	}
+	paths := make([]string, 0, len(m.files)+len(m.dirs))
+	for p := range m.files {
+		if underDir(p, root) {
+			paths = append(paths, p)
+		}
+	}
+	for p := range m.dirs {
+		if p != "/" && underDir(p, root) {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fi, err := m.Stat(p)
+		if err != nil {
+			return err
+		}
+		if err := fn(fi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Packages implements Entity.
+func (m *Mem) Packages() (*pkgdb.DB, error) {
+	return pkgdb.New(m.packages), nil
+}
+
+// RunFeature implements Entity.
+func (m *Mem) RunFeature(name string) (string, error) {
+	out, ok := m.features[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNoFeature, name)
+	}
+	return out, nil
+}
+
+// Files returns all file paths in sorted order (used by the frame writer).
+func (m *Mem) Files() []string {
+	out := make([]string, 0, len(m.files))
+	for p := range m.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dirs returns all directory paths in sorted order.
+func (m *Mem) Dirs() []string {
+	out := make([]string, 0, len(m.dirs))
+	for p := range m.dirs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Features returns the names of available runtime features, sorted.
+func (m *Mem) Features() []string {
+	out := make([]string, 0, len(m.features))
+	for n := range m.features {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (m *Mem) ensureParents(path string) {
+	for {
+		idx := strings.LastIndexByte(path, '/')
+		if idx <= 0 {
+			break
+		}
+		path = path[:idx]
+		if _, ok := m.dirs[path]; !ok {
+			m.dirs[path] = memDir{mode: fs.ModeDir | 0o755}
+		}
+	}
+}
+
+// Clean normalizes an entity path: forward slashes, leading '/', no
+// trailing slash, no '.' or empty segments, ".." resolved.
+func Clean(path string) string {
+	segs := strings.Split(path, "/")
+	out := make([]string, 0, len(segs))
+	for _, s := range segs {
+		switch s {
+		case "", ".":
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		default:
+			out = append(out, s)
+		}
+	}
+	return "/" + strings.Join(out, "/")
+}
+
+func underDir(path, dir string) bool {
+	if dir == "/" {
+		return true
+	}
+	return strings.HasPrefix(path, dir+"/")
+}

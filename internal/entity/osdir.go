@@ -1,0 +1,153 @@
+package entity
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+
+	"configvalidator/internal/pkgdb"
+)
+
+// OSDir exposes a directory on the local filesystem as an Entity, treating
+// the directory as the entity's root. This is how the CLI validates a host
+// (root "/"), a chroot, or an unpacked image directory. Package state is
+// read from var/lib/dpkg/status under the root when present.
+type OSDir struct {
+	name     string
+	typ      Type
+	root     string
+	features map[string]string
+}
+
+var _ Entity = (*OSDir)(nil)
+
+// NewOSDir creates an entity rooted at dir.
+func NewOSDir(name string, typ Type, dir string) *OSDir {
+	return &OSDir{name: name, typ: typ, root: dir, features: make(map[string]string)}
+}
+
+// SetFeature records a runtime plugin output (collected out of band).
+func (o *OSDir) SetFeature(name, output string) {
+	o.features[name] = output
+}
+
+// Name implements Entity.
+func (o *OSDir) Name() string { return o.name }
+
+// Type implements Entity.
+func (o *OSDir) Type() Type { return o.typ }
+
+func (o *OSDir) hostPath(path string) string {
+	return filepath.Join(o.root, filepath.FromSlash(strings.TrimPrefix(Clean(path), "/")))
+}
+
+// ReadFile implements Entity.
+func (o *OSDir) ReadFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(o.hostPath(path))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	return data, err
+}
+
+// Stat implements Entity.
+func (o *OSDir) Stat(path string) (FileInfo, error) {
+	fi, err := os.Stat(o.hostPath(path))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return FileInfo{}, fmt.Errorf("%w: %s", ErrNotExist, path)
+		}
+		return FileInfo{}, err
+	}
+	return osFileInfo(Clean(path), fi), nil
+}
+
+func osFileInfo(path string, fi os.FileInfo) FileInfo {
+	out := FileInfo{
+		Path:    path,
+		Size:    fi.Size(),
+		Mode:    fi.Mode(),
+		ModTime: fi.ModTime(),
+	}
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		out.UID = int(st.Uid)
+		out.GID = int(st.Gid)
+	}
+	return out
+}
+
+// Walk implements Entity.
+func (o *OSDir) Walk(root string, fn func(FileInfo) error) error {
+	base := o.hostPath(root)
+	var paths []string
+	err := filepath.WalkDir(base, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) && p == base {
+				return fmt.Errorf("%w: %s", ErrNotExist, root)
+			}
+			return err
+		}
+		if p != base || !d.IsDir() {
+			paths = append(paths, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			continue // raced removal; skip
+		}
+		rel, err := filepath.Rel(o.root, p)
+		if err != nil {
+			return err
+		}
+		if err := fn(osFileInfo(Clean(filepath.ToSlash(rel)), fi)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Packages implements Entity.
+func (o *OSDir) Packages() (*pkgdb.DB, error) {
+	data, err := o.ReadFile("/var/lib/dpkg/status")
+	if err != nil {
+		if errors.Is(err, ErrNotExist) {
+			return pkgdb.New(nil), nil
+		}
+		return nil, err
+	}
+	pkgs, err := pkgdb.ParseStatusFile(data)
+	if err != nil {
+		return nil, fmt.Errorf("parse dpkg status: %w", err)
+	}
+	return pkgdb.New(pkgs), nil
+}
+
+// RunFeature implements Entity.
+func (o *OSDir) RunFeature(name string) (string, error) {
+	out, ok := o.features[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNoFeature, name)
+	}
+	return out, nil
+}
+
+// Features implements Entity.
+func (o *OSDir) Features() []string {
+	out := make([]string, 0, len(o.features))
+	for n := range o.features {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,554 @@
+// Package fixtures generates synthetic validation targets: hosts, Docker
+// images, containers, and clouds populated with realistic configuration
+// files for every Table-1 target, with controllable misconfiguration
+// injection. It stands in for the paper's production workload (IBM Cloud
+// images and containers) so that evaluation runs are reproducible: the
+// generator is fully deterministic given a seed, and reports exactly which
+// misconfigurations it injected.
+package fixtures
+
+import (
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"strings"
+	"time"
+
+	"configvalidator/internal/cloudsim"
+	"configvalidator/internal/dockersim"
+	"configvalidator/internal/entity"
+	"configvalidator/internal/pkgdb"
+)
+
+// Profile controls generation.
+type Profile struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// MisconfigRate is the probability in [0,1] that each configuration
+	// knob takes a non-compliant value.
+	MisconfigRate float64
+}
+
+// Injection records one deliberately injected misconfiguration.
+type Injection struct {
+	// Target is the manifest entity the misconfiguration belongs to.
+	Target string
+	// Knob names the misconfigured parameter.
+	Knob string
+}
+
+// generator carries shared RNG state.
+type generator struct {
+	r        *rand.Rand
+	rate     float64
+	injected []Injection
+}
+
+func newGenerator(p Profile) *generator {
+	return &generator{r: rand.New(rand.NewSource(p.Seed)), rate: p.MisconfigRate}
+}
+
+// pick returns badValue with probability rate (recording the injection),
+// goodValue otherwise.
+func (g *generator) pick(target, knob, goodValue, badValue string) string {
+	if g.r.Float64() < g.rate {
+		g.injected = append(g.injected, Injection{Target: target, Knob: knob})
+		return badValue
+	}
+	return goodValue
+}
+
+// omit returns true with probability rate (recording the injection) —
+// used for "required line missing" misconfigurations.
+func (g *generator) omit(target, knob string) bool {
+	if g.r.Float64() < g.rate {
+		g.injected = append(g.injected, Injection{Target: target, Knob: knob})
+		return true
+	}
+	return false
+}
+
+// UbuntuHost generates a complete host entity carrying configuration for
+// every Table-1 target, with injected misconfigurations per the profile.
+// It returns the entity and the list of injections.
+func UbuntuHost(name string, p Profile) (*entity.Mem, []Injection) {
+	g := newGenerator(p)
+	m := entity.NewMem(name, entity.TypeHost)
+	g.populateSystemServices(m)
+	g.populateApplications(m)
+	m.AddFile("/etc/docker/daemon.json", []byte(g.dockerDaemonJSON()))
+	m.SetPackages(basePackages())
+	m.SetFeature("mysql.ssl", g.pick("mysql", "runtime_ssl", "have_ssl YES\n", "have_ssl DISABLED\n"))
+	return m, g.injected
+}
+
+// SystemHost generates a host carrying only the system-service targets
+// (sshd, sysctl, audit, fstab, modprobe) — the Table-2 workload of "40 CIS
+// rules targeting validation of system services in Ubuntu Linux".
+func SystemHost(name string, p Profile) (*entity.Mem, []Injection) {
+	g := newGenerator(p)
+	m := entity.NewMem(name, entity.TypeHost)
+	g.populateSystemServices(m)
+	m.SetPackages(basePackages())
+	return m, g.injected
+}
+
+func (g *generator) populateSystemServices(m *entity.Mem) {
+	m.AddFile("/etc/ssh/sshd_config", []byte(g.sshdConfig()), entity.WithMode(0o600))
+	m.AddFile("/etc/sysctl.conf", []byte(g.sysctlConf()))
+	m.AddFile("/etc/audit/audit.rules", []byte(g.auditRules()))
+	m.AddFile("/etc/fstab", []byte(g.fstab()))
+	m.AddFile("/etc/modprobe.d/cis.conf", []byte(g.modprobeConf()))
+	m.AddFile("/etc/passwd", []byte(g.passwd()))
+	m.AddFile("/etc/group", []byte(g.group()))
+	crontabMode := fs.FileMode(0o600)
+	if g.omit("cron", "crontab_perms") {
+		crontabMode = 0o644
+	}
+	m.AddFile("/etc/crontab", []byte(g.crontab()), entity.WithMode(crontabMode))
+	m.AddFile("/etc/security/limits.conf", []byte(g.limitsConf()))
+	m.AddFile("/etc/resolv.conf", []byte(g.resolvConf()))
+	m.AddFile("/etc/hosts", []byte("127.0.0.1 localhost\n"))
+}
+
+func (g *generator) passwd() string {
+	out := basePasswd()
+	if g.omit("passwd", "duplicate_uid0") {
+		out += "toor:x:0:100:second root:/home/toor:/bin/bash\n"
+	}
+	return out
+}
+
+func (g *generator) group() string {
+	shadowMembers := ""
+	if g.omit("group", "shadow_members") {
+		shadowMembers = "intern"
+	}
+	return "root:x:0:\nshadow:x:42:" + shadowMembers + "\nwww-data:x:33:\nmysql:x:110:\n"
+}
+
+func (g *generator) crontab() string {
+	var b strings.Builder
+	b.WriteString("SHELL=/bin/sh\n")
+	if !g.omit("cron", "path_env") {
+		b.WriteString("PATH=/usr/sbin:/usr/bin:/sbin:/bin\n")
+	}
+	b.WriteString("17 * * * * root cd / && run-parts --report /etc/cron.hourly\n")
+	b.WriteString("25 6 * * * root test -x /usr/sbin/anacron || run-parts /etc/cron.daily\n")
+	return b.String()
+}
+
+func (g *generator) limitsConf() string {
+	core := g.pick("limits", "core_dumps", "0", "unlimited")
+	var b strings.Builder
+	fmt.Fprintf(&b, "* hard core %s\n", core)
+	if !g.omit("limits", "nofile") {
+		b.WriteString("* soft nofile 4096\n")
+	}
+	return b.String()
+}
+
+func (g *generator) resolvConf() string {
+	if g.omit("resolv", "nameserver") {
+		return "search internal.example.com\n"
+	}
+	return "nameserver 10.0.0.2\nnameserver 10.0.0.3\nsearch internal.example.com\n"
+}
+
+func (g *generator) populateApplications(m *entity.Mem) {
+	mode := fs.FileMode(0o644)
+	if g.omit("nginx", "nginx.conf_perms") {
+		mode = 0o666
+	}
+	m.AddFile("/etc/nginx/nginx.conf", []byte(g.nginxConf()), entity.WithMode(mode))
+	m.AddFile("/etc/apache2/apache2.conf", []byte(g.apacheConf()), entity.WithMode(0o644))
+	myCnfMode := fs.FileMode(0o644)
+	if g.omit("mysql", "my.cnf_perms") {
+		myCnfMode = 0o777
+	}
+	m.AddFile("/etc/mysql/my.cnf", []byte(g.myCnf()), entity.WithMode(myCnfMode))
+	m.AddFile("/etc/hadoop/core-site.xml", []byte(g.hadoopCoreSite()))
+	m.AddFile("/etc/hadoop/hdfs-site.xml", []byte(g.hadoopHDFSSite()))
+	m.AddFile("/etc/hadoop/yarn-site.xml", []byte(g.hadoopYarnSite()))
+}
+
+func (g *generator) sshdConfig() string {
+	var b strings.Builder
+	b.WriteString("# OpenSSH server configuration (generated fixture)\nPort 22\n")
+	write := func(knob, good, bad string) {
+		fmt.Fprintf(&b, "%s %s\n", knob, g.pick("sshd", knob, good, bad))
+	}
+	write("PermitRootLogin", "no", "yes")
+	write("Protocol", "2", "2,1")
+	write("X11Forwarding", "no", "yes")
+	write("MaxAuthTries", "4", "8")
+	write("IgnoreRhosts", "yes", "no")
+	write("HostbasedAuthentication", "no", "yes")
+	write("PermitEmptyPasswords", "no", "yes")
+	write("PermitUserEnvironment", "no", "yes")
+	write("ClientAliveInterval", "300", "900")
+	write("ClientAliveCountMax", "3", "10")
+	write("LoginGraceTime", "60", "240")
+	if !g.omit("sshd", "Banner") {
+		b.WriteString("Banner /etc/issue.net\n")
+	}
+	write("UsePAM", "yes", "no")
+	write("AllowTcpForwarding", "no", "yes")
+	write("LogLevel", "INFO", "QUIET")
+	write("Ciphers", "aes256-ctr,aes192-ctr,aes128-ctr", "aes256-ctr,3des-cbc")
+	write("MACs", "hmac-sha2-512,hmac-sha2-256", "hmac-sha2-256,hmac-md5")
+	write("KexAlgorithms", "curve25519-sha256", "diffie-hellman-group1-sha1")
+	return b.String()
+}
+
+func (g *generator) sysctlConf() string {
+	var b strings.Builder
+	b.WriteString("# Kernel hardening (generated fixture)\n")
+	write := func(key, good, bad string) {
+		fmt.Fprintf(&b, "%s = %s\n", key, g.pick("sysctl", key, good, bad))
+	}
+	write("net.ipv4.ip_forward", "0", "1")
+	write("net.ipv4.conf.all.send_redirects", "0", "1")
+	write("net.ipv4.conf.default.send_redirects", "0", "1")
+	write("net.ipv4.conf.all.accept_source_route", "0", "1")
+	write("net.ipv4.conf.default.accept_source_route", "0", "1")
+	write("net.ipv4.conf.all.accept_redirects", "0", "1")
+	write("net.ipv4.conf.default.accept_redirects", "0", "1")
+	write("net.ipv4.conf.all.secure_redirects", "0", "1")
+	write("net.ipv4.conf.all.log_martians", "1", "0")
+	write("net.ipv4.icmp_echo_ignore_broadcasts", "1", "0")
+	write("net.ipv4.icmp_ignore_bogus_error_responses", "1", "0")
+	write("net.ipv4.conf.all.rp_filter", "1", "0")
+	write("net.ipv4.conf.default.rp_filter", "1", "0")
+	write("net.ipv4.tcp_syncookies", "1", "0")
+	write("net.ipv6.conf.all.accept_ra", "0", "1")
+	write("net.ipv6.conf.all.accept_redirects", "0", "1")
+	write("kernel.randomize_va_space", "2", "0")
+	write("fs.suid_dumpable", "0", "1")
+	return b.String()
+}
+
+func (g *generator) auditRules() string {
+	var b strings.Builder
+	b.WriteString("-D\n-b 8192\n")
+	watch := func(target, perms, key string) {
+		if g.omit("audit", "watch_"+target) {
+			return
+		}
+		fmt.Fprintf(&b, "-w %s -p %s -k %s\n", target, perms, key)
+	}
+	watch("/etc/passwd", "wa", "identity")
+	watch("/etc/group", "wa", "identity")
+	watch("/etc/shadow", "wa", "identity")
+	watch("/etc/gshadow", "wa", "identity")
+	watch("/etc/security/opasswd", "wa", "identity")
+	watch("/etc/sudoers", "wa", "scope")
+	watch("/etc/sudoers.d", "wa", "scope")
+	watch("/var/log/sudo.log", "wa", "actions")
+	watch("/var/log/faillog", "wa", "logins")
+	watch("/var/log/lastlog", "wa", "logins")
+	watch("/var/log/tallylog", "wa", "logins")
+	watch("/etc/apparmor/", "wa", "MAC-policy")
+	watch("/etc/hosts", "wa", "system-locale")
+	watch("/etc/network", "wa", "system-locale")
+	watch("/var/run/utmp", "wa", "session")
+	watch("/var/log/wtmp", "wa", "session")
+	watch("/var/log/btmp", "wa", "session")
+	if !g.omit("audit", "syscall_time-change") {
+		b.WriteString("-a always,exit -F arch=b64 -S adjtimex -S settimeofday -k time-change\n")
+	}
+	if !g.omit("audit", "syscall_system-locale") {
+		b.WriteString("-a always,exit -F arch=b64 -S sethostname -S setdomainname -k system-locale\n")
+	}
+	if !g.omit("audit", "syscall_perm_mod") {
+		b.WriteString("-a always,exit -F arch=b64 -S chmod -S fchmod -S fchmodat -k perm_mod\n")
+	}
+	return b.String()
+}
+
+func (g *generator) fstab() string {
+	var b strings.Builder
+	b.WriteString("/dev/sda1 / ext4 errors=remount-ro 0 1\n")
+	if !g.omit("fstab", "tmp_partition") {
+		opts := "nodev,nosuid,noexec"
+		if g.omit("fstab", "tmp_options") {
+			opts = "defaults"
+		}
+		fmt.Fprintf(&b, "/dev/sda2 /tmp ext4 %s 0 2\n", opts)
+	}
+	if !g.omit("fstab", "var_partition") {
+		b.WriteString("/dev/sda3 /var ext4 defaults 0 2\n")
+	}
+	if !g.omit("fstab", "var_log_partition") {
+		b.WriteString("/dev/sda5 /var/log ext4 defaults 0 2\n")
+	}
+	if !g.omit("fstab", "home_partition") {
+		b.WriteString("/dev/sda4 /home ext4 nodev 0 2\n")
+	}
+	shmOpts := g.pick("fstab", "shm_options", "nodev,nosuid,noexec", "defaults")
+	fmt.Fprintf(&b, "tmpfs /dev/shm tmpfs %s 0 0\n", shmOpts)
+	return b.String()
+}
+
+func (g *generator) modprobeConf() string {
+	var b strings.Builder
+	for _, mod := range []string{"cramfs", "freevxfs", "jffs2", "hfs", "hfsplus", "squashfs", "udf", "usb-storage"} {
+		if g.omit("modprobe", mod) {
+			continue
+		}
+		fmt.Fprintf(&b, "install %s /bin/true\n", mod)
+	}
+	return b.String()
+}
+
+func (g *generator) nginxConf() string {
+	user := g.pick("nginx", "user", "www-data", "root")
+	tokens := g.pick("nginx", "server_tokens", "off", "on")
+	protocols := g.pick("nginx", "ssl_protocols", "TLSv1.2 TLSv1.3", "SSLv3 TLSv1.2")
+	ciphers := g.pick("nginx", "ssl_ciphers", "HIGH:!aNULL", "HIGH:RC4:MD5")
+	autoindex := g.pick("nginx", "autoindex", "off", "on")
+	return fmt.Sprintf(`user %s;
+worker_processes auto;
+error_log /var/log/nginx/error.log;
+http {
+    server_tokens %s;
+    client_max_body_size 10m;
+    keepalive_timeout 65;
+    add_header X-Frame-Options SAMEORIGIN;
+    server {
+        listen 443 ssl;
+        server_name example.com;
+        autoindex %s;
+        ssl_certificate /etc/ssl/cert.pem;
+        ssl_certificate_key /etc/ssl/key.pem;
+        ssl_protocols %s;
+        ssl_ciphers %s;
+        ssl_prefer_server_ciphers on;
+    }
+}
+`, user, tokens, autoindex, protocols, ciphers)
+}
+
+func (g *generator) apacheConf() string {
+	tokens := g.pick("apache", "ServerTokens", "Prod", "Full")
+	sig := g.pick("apache", "ServerSignature", "Off", "On")
+	trace := g.pick("apache", "TraceEnable", "Off", "On")
+	options := g.pick("apache", "Options", "FollowSymLinks", "Indexes FollowSymLinks")
+	override := g.pick("apache", "AllowOverride", "None", "All")
+	sslProto := g.pick("apache", "SSLProtocol", "all -SSLv2 -SSLv3", "all")
+	return fmt.Sprintf(`ServerTokens %s
+ServerSignature %s
+TraceEnable %s
+Timeout 300
+KeepAliveTimeout 5
+FileETag None
+LimitRequestBody 102400
+SSLProtocol %s
+<Directory /var/www/html>
+    Options %s
+    AllowOverride %s
+    Require all granted
+</Directory>
+`, tokens, sig, trace, sslProto, options, override)
+}
+
+func (g *generator) myCnf() string {
+	bind := g.pick("mysql", "bind-address", "127.0.0.1", "0.0.0.0")
+	infile := g.pick("mysql", "local-infile", "0", "1")
+	var b strings.Builder
+	b.WriteString("[client]\nport = 3306\n\n[mysqld]\nuser = mysql\n")
+	fmt.Fprintf(&b, "bind-address = %s\nlocal-infile = %s\nsymbolic-links = 0\n", bind, infile)
+	if !g.omit("mysql", "ssl-ca") {
+		b.WriteString("ssl-ca = /etc/mysql/cacert.pem\nssl-cert = /etc/mysql/server-cert.pem\n")
+	}
+	if !g.omit("mysql", "secure-file-priv") {
+		b.WriteString("secure-file-priv = /var/lib/mysql-files\n")
+	}
+	b.WriteString("skip-show-database\n")
+	if g.omit("mysql", "old_passwords") {
+		b.WriteString("old_passwords = 1\n")
+	}
+	return b.String()
+}
+
+func hadoopProperty(name, value string) string {
+	return fmt.Sprintf("  <property>\n    <name>%s</name>\n    <value>%s</value>\n  </property>\n", name, value)
+}
+
+func (g *generator) hadoopCoreSite() string {
+	auth := g.pick("hadoop", "hadoop.security.authentication", "kerberos", "simple")
+	authz := g.pick("hadoop", "hadoop.security.authorization", "true", "false")
+	rpc := g.pick("hadoop", "hadoop.rpc.protection", "privacy", "authentication")
+	return "<?xml version=\"1.0\"?>\n<configuration>\n" +
+		hadoopProperty("hadoop.security.authentication", auth) +
+		hadoopProperty("hadoop.security.authorization", authz) +
+		hadoopProperty("hadoop.rpc.protection", rpc) +
+		"</configuration>\n"
+}
+
+func (g *generator) hadoopHDFSSite() string {
+	perms := g.pick("hadoop", "dfs.permissions.enabled", "true", "false")
+	encrypt := g.pick("hadoop", "dfs.encrypt.data.transfer", "true", "false")
+	policy := g.pick("hadoop", "dfs.http.policy", "HTTPS_ONLY", "HTTP_ONLY")
+	acls := g.pick("hadoop", "dfs.namenode.acls.enabled", "true", "false")
+	dirPerm := g.pick("hadoop", "dfs.datanode.data.dir.perm", "700", "755")
+	return "<?xml version=\"1.0\"?>\n<configuration>\n" +
+		hadoopProperty("dfs.permissions.enabled", perms) +
+		hadoopProperty("dfs.encrypt.data.transfer", encrypt) +
+		hadoopProperty("dfs.http.policy", policy) +
+		hadoopProperty("dfs.namenode.acls.enabled", acls) +
+		hadoopProperty("dfs.datanode.data.dir.perm", dirPerm) +
+		"</configuration>\n"
+}
+
+func (g *generator) hadoopYarnSite() string {
+	acl := g.pick("hadoop", "yarn.acl.enable", "true", "false")
+	return "<?xml version=\"1.0\"?>\n<configuration>\n" +
+		hadoopProperty("yarn.acl.enable", acl) +
+		"</configuration>\n"
+}
+
+func (g *generator) dockerDaemonJSON() string {
+	icc := g.pick("docker", "icc", "false", "true")
+	proxy := g.pick("docker", "userland-proxy", "false", "true")
+	live := g.pick("docker", "live-restore", "true", "false")
+	tls := g.pick("docker", "tlsverify", "true", "false")
+	var extras []string
+	if !g.omit("docker", "log-driver") {
+		extras = append(extras, `"log-driver": "syslog"`)
+	}
+	if !g.omit("docker", "userns-remap") {
+		extras = append(extras, `"userns-remap": "default"`)
+	}
+	extra := ""
+	if len(extras) > 0 {
+		extra = ",\n  " + strings.Join(extras, ",\n  ")
+	}
+	return fmt.Sprintf(`{
+  "icc": %s,
+  "userland-proxy": %s,
+  "live-restore": %s,
+  "tlsverify": %s%s
+}
+`, icc, proxy, live, tls, extra)
+}
+
+// Image generates one application Docker image with injected
+// misconfigurations, built on the simulator's Ubuntu base.
+func Image(repository, tag string, p Profile) (*dockersim.Image, []Injection) {
+	g := newGenerator(p)
+	base := dockersim.BaseUbuntu(fixedTime())
+	b := dockersim.NewBuilder(repository, tag).From(base)
+	b.AddFile("/etc/ssh/sshd_config", []byte(g.sshdConfig()), 0o600)
+	b.AddFile("/etc/sysctl.conf", []byte(g.sysctlConf()), 0o644)
+	b.AddFile("/etc/nginx/nginx.conf", []byte(g.nginxConf()), 0o644)
+	b.AddFile("/etc/mysql/my.cnf", []byte(g.myCnf()), 0o644)
+	b.InstallPackages(
+		pkgdb.Package{Name: "nginx", Version: "1.10.3-0ubuntu0.16.04.5", Architecture: "amd64", Status: "install ok installed"},
+		pkgdb.Package{Name: "mysql-server", Version: "5.7.21-0ubuntu0.16.04.1", Architecture: "amd64", Status: "install ok installed"},
+	)
+	if g.omit("docker", "image_user") {
+		b.User("") // root default
+	} else {
+		b.User("app")
+	}
+	if !g.omit("docker", "image_healthcheck") {
+		b.Healthcheck("curl -f http://localhost/ || exit 1")
+	}
+	if g.omit("docker", "image_ssh_port") {
+		b.Expose("22/tcp")
+	}
+	b.Expose("443/tcp")
+	if g.omit("docker", "image_env_secret") {
+		b.Env("DB_PASSWORD=hunter2")
+	}
+	b.Env("MODE=production")
+	b.Cmd("/usr/sbin/nginx", "-g", "daemon off;")
+	return b.Build(), g.injected
+}
+
+// Fleet generates n images pushed into a fresh registry, with per-image
+// seeds derived from the profile seed.
+func Fleet(n int, p Profile) (*dockersim.Registry, int) {
+	reg := dockersim.NewRegistry()
+	injected := 0
+	for i := 0; i < n; i++ {
+		img, inj := Image(fmt.Sprintf("app-%03d", i), "v1", Profile{
+			Seed:          p.Seed + int64(i)*7919,
+			MisconfigRate: p.MisconfigRate,
+		})
+		reg.Push(img)
+		injected += len(inj)
+	}
+	return reg, injected
+}
+
+// Cloud generates a cloudsim control plane with injected OSSG violations.
+func Cloud(name string, p Profile) (*cloudsim.Cloud, []Injection) {
+	g := newGenerator(p)
+	c := cloudsim.New(name)
+	identity := cloudsim.IdentityConfig{
+		TLSEnabled:             true,
+		TokenExpirationSeconds: 3600,
+		PasswordMinLength:      12,
+	}
+	if g.omit("openstack", "tls_enabled") {
+		identity.TLSEnabled = false
+	}
+	if g.omit("openstack", "admin_token_enabled") {
+		identity.AdminTokenEnabled = true
+	}
+	if g.omit("openstack", "token_expiration") {
+		identity.TokenExpirationSeconds = 86400
+	}
+	if g.omit("openstack", "password_min_length") {
+		identity.PasswordMinLength = 6
+	}
+	c.SetIdentityConfig(identity)
+
+	webPrefix := g.pick("openstack", "sg_world_open", "10.0.0.0/8", "0.0.0.0/0")
+	c.AddSecurityGroup(cloudsim.SecurityGroup{
+		ID: "sg-web", Name: "web", Project: "demo",
+		Rules: []cloudsim.SecurityGroupRule{
+			{Direction: "ingress", Protocol: "tcp", PortMin: 443, PortMax: 443, RemoteIPPrefix: webPrefix},
+		},
+	})
+	protocol := g.pick("openstack", "sg_any_protocol", "tcp", "any")
+	c.AddSecurityGroup(cloudsim.SecurityGroup{
+		ID: "sg-admin", Name: "admin", Project: "demo",
+		Rules: []cloudsim.SecurityGroupRule{
+			{Direction: "ingress", Protocol: protocol, PortMin: 22, PortMax: 22, RemoteIPPrefix: "10.1.0.0/16"},
+		},
+	})
+	mfa := !g.omit("openstack", "user_mfa")
+	c.AddUser(cloudsim.User{ID: "u-admin", Name: "admin", Enabled: true, MFAEnabled: mfa})
+	c.AddUser(cloudsim.User{ID: "u-ops", Name: "ops", Enabled: true, MFAEnabled: true})
+	c.AddInstance(cloudsim.Instance{ID: "i-1", Name: "web-1", Project: "demo", Status: "ACTIVE", SecurityGroups: []string{"sg-web"}})
+	return c, g.injected
+}
+
+func basePasswd() string {
+	return "root:x:0:0:root:/root:/bin/bash\n" +
+		"daemon:x:1:1:daemon:/usr/sbin:/usr/sbin/nologin\n" +
+		"www-data:x:33:33:www-data:/var/www:/usr/sbin/nologin\n" +
+		"mysql:x:106:110:MySQL Server:/nonexistent:/bin/false\n"
+}
+
+func baseGroup() string {
+	return "root:x:0:\nshadow:x:42:\nwww-data:x:33:\nmysql:x:110:\n"
+}
+
+func basePackages() []pkgdb.Package {
+	return []pkgdb.Package{
+		{Name: "openssh-server", Version: "1:7.2p2-4ubuntu2.8", Architecture: "amd64", Status: "install ok installed"},
+		{Name: "nginx", Version: "1.10.3-0ubuntu0.16.04.5", Architecture: "amd64", Status: "install ok installed"},
+		{Name: "apache2", Version: "2.4.18-2ubuntu3.9", Architecture: "amd64", Status: "install ok installed"},
+		{Name: "mysql-server", Version: "5.7.21-0ubuntu0.16.04.1", Architecture: "amd64", Status: "install ok installed"},
+		{Name: "auditd", Version: "1:2.4.5-1ubuntu2", Architecture: "amd64", Status: "install ok installed"},
+	}
+}
+
+// fixedTime stamps generated image layers for deterministic image IDs.
+func fixedTime() time.Time {
+	return time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+}

@@ -1,0 +1,315 @@
+// Package frames implements system configuration frames: serialized
+// snapshots of an entity's configuration state that can be validated
+// offline, "without requiring any local installation or remote access"
+// (paper §2.2 and [24]). A frame is a JSON-lines stream: a header record
+// followed by directory, file, package, and feature records.
+//
+// The round-trip property that makes touchless validation sound is that
+// validating a frame yields the same results as validating the live entity
+// it was captured from; the integration tests assert this.
+package frames
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"time"
+
+	"configvalidator/internal/entity"
+	"configvalidator/internal/pkgdb"
+)
+
+// Version is the frame format version written by this package.
+const Version = 1
+
+// record is one JSON line of a frame stream.
+type record struct {
+	Type string `json:"type"`
+
+	// Header fields.
+	Name       string `json:"name,omitempty"`
+	EntityType string `json:"entity_type,omitempty"`
+	Version    int    `json:"version,omitempty"`
+	Captured   string `json:"captured,omitempty"`
+
+	// File and directory fields.
+	Path    string `json:"path,omitempty"`
+	Mode    uint32 `json:"mode,omitempty"`
+	UID     int    `json:"uid,omitempty"`
+	GID     int    `json:"gid,omitempty"`
+	ModTime string `json:"mtime,omitempty"`
+	Content string `json:"content,omitempty"` // base64
+
+	// Package fields.
+	PkgVersion string `json:"pkg_version,omitempty"`
+	Arch       string `json:"arch,omitempty"`
+	Status     string `json:"status,omitempty"`
+
+	// Feature fields.
+	Output string `json:"output,omitempty"`
+}
+
+// Frame is an in-memory snapshot of an entity.
+type Frame struct {
+	// Name is the captured entity's name.
+	Name string
+	// EntityType is the captured entity's type.
+	EntityType entity.Type
+	// Captured is the capture timestamp.
+	Captured time.Time
+
+	files    []fileEntry
+	dirs     []dirEntry
+	packages []pkgdb.Package
+	features []featureEntry
+}
+
+type fileEntry struct {
+	path    string
+	mode    fs.FileMode
+	uid     int
+	gid     int
+	modTime time.Time
+	content []byte
+}
+
+type dirEntry struct {
+	path string
+	mode fs.FileMode
+	uid  int
+	gid  int
+}
+
+type featureEntry struct {
+	name   string
+	output string
+}
+
+// ErrBadFrame reports a malformed frame stream.
+var ErrBadFrame = errors.New("frames: malformed frame")
+
+// Capture snapshots an entity. Each root in roots is walked recursively and
+// every file found is recorded with content and metadata; when roots is
+// empty the entire entity ("/") is captured. Package and feature state are
+// always captured. Missing roots are skipped — a frame of an entity without
+// /etc/mysql is still a valid frame.
+func Capture(e entity.Entity, roots []string, now time.Time) (*Frame, error) {
+	f := &Frame{Name: e.Name(), EntityType: e.Type(), Captured: now.UTC()}
+	if len(roots) == 0 {
+		roots = []string{"/"}
+	}
+	seen := make(map[string]bool)
+	for _, root := range roots {
+		err := e.Walk(root, func(fi entity.FileInfo) error {
+			if seen[fi.Path] {
+				return nil
+			}
+			seen[fi.Path] = true
+			if fi.IsDir() {
+				f.dirs = append(f.dirs, dirEntry{path: fi.Path, mode: fi.Mode, uid: fi.UID, gid: fi.GID})
+				return nil
+			}
+			content, err := e.ReadFile(fi.Path)
+			if err != nil {
+				return fmt.Errorf("read %s: %w", fi.Path, err)
+			}
+			f.files = append(f.files, fileEntry{
+				path:    fi.Path,
+				mode:    fi.Mode,
+				uid:     fi.UID,
+				gid:     fi.GID,
+				modTime: fi.ModTime,
+				content: content,
+			})
+			return nil
+		})
+		if err != nil {
+			if errors.Is(err, entity.ErrNotExist) {
+				continue
+			}
+			return nil, fmt.Errorf("walk %s: %w", root, err)
+		}
+	}
+	db, err := e.Packages()
+	if err != nil {
+		return nil, fmt.Errorf("packages: %w", err)
+	}
+	f.packages = db.All()
+	for _, name := range e.Features() {
+		out, err := e.RunFeature(name)
+		if err != nil {
+			return nil, fmt.Errorf("feature %s: %w", name, err)
+		}
+		f.features = append(f.features, featureEntry{name: name, output: out})
+	}
+	return f, nil
+}
+
+// Write serializes the frame as JSON lines.
+func (f *Frame) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	header := record{
+		Type:       "frame",
+		Name:       f.Name,
+		EntityType: f.EntityType.String(),
+		Version:    Version,
+		Captured:   f.Captured.Format(time.RFC3339),
+	}
+	if err := enc.Encode(header); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	for _, d := range f.dirs {
+		rec := record{Type: "dir", Path: d.path, Mode: uint32(d.mode), UID: d.uid, GID: d.gid}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("write dir %s: %w", d.path, err)
+		}
+	}
+	for _, fe := range f.files {
+		rec := record{
+			Type:    "file",
+			Path:    fe.path,
+			Mode:    uint32(fe.mode),
+			UID:     fe.uid,
+			GID:     fe.gid,
+			Content: base64.StdEncoding.EncodeToString(fe.content),
+		}
+		if !fe.modTime.IsZero() {
+			rec.ModTime = fe.modTime.Format(time.RFC3339Nano)
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("write file %s: %w", fe.path, err)
+		}
+	}
+	for _, p := range f.packages {
+		rec := record{Type: "package", Name: p.Name, PkgVersion: p.Version, Arch: p.Architecture, Status: p.Status}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("write package %s: %w", p.Name, err)
+		}
+	}
+	for _, ft := range f.features {
+		rec := record{Type: "feature", Name: ft.name, Output: ft.output}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("write feature %s: %w", ft.name, err)
+		}
+	}
+	return nil
+}
+
+// Read parses a frame stream written by Write.
+func Read(r io.Reader) (*Frame, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	f := &Frame{}
+	sawHeader := false
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadFrame, lineNo, err)
+		}
+		switch rec.Type {
+		case "frame":
+			if sawHeader {
+				return nil, fmt.Errorf("%w: line %d: duplicate header", ErrBadFrame, lineNo)
+			}
+			if rec.Version != Version {
+				return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, rec.Version)
+			}
+			typ, err := entity.ParseType(rec.EntityType)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadFrame, lineNo, err)
+			}
+			f.Name = rec.Name
+			f.EntityType = typ
+			if rec.Captured != "" {
+				ts, err := time.Parse(time.RFC3339, rec.Captured)
+				if err != nil {
+					return nil, fmt.Errorf("%w: line %d: bad timestamp: %v", ErrBadFrame, lineNo, err)
+				}
+				f.Captured = ts
+			}
+			sawHeader = true
+		case "dir":
+			if !sawHeader {
+				return nil, fmt.Errorf("%w: line %d: record before header", ErrBadFrame, lineNo)
+			}
+			f.dirs = append(f.dirs, dirEntry{path: rec.Path, mode: fs.FileMode(rec.Mode), uid: rec.UID, gid: rec.GID})
+		case "file":
+			if !sawHeader {
+				return nil, fmt.Errorf("%w: line %d: record before header", ErrBadFrame, lineNo)
+			}
+			content, err := base64.StdEncoding.DecodeString(rec.Content)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad content: %v", ErrBadFrame, lineNo, err)
+			}
+			fe := fileEntry{
+				path:    rec.Path,
+				mode:    fs.FileMode(rec.Mode),
+				uid:     rec.UID,
+				gid:     rec.GID,
+				content: content,
+			}
+			if rec.ModTime != "" {
+				ts, err := time.Parse(time.RFC3339Nano, rec.ModTime)
+				if err != nil {
+					return nil, fmt.Errorf("%w: line %d: bad mtime: %v", ErrBadFrame, lineNo, err)
+				}
+				fe.modTime = ts
+			}
+			f.files = append(f.files, fe)
+		case "package":
+			f.packages = append(f.packages, pkgdb.Package{
+				Name: rec.Name, Version: rec.PkgVersion, Architecture: rec.Arch, Status: rec.Status,
+			})
+		case "feature":
+			f.features = append(f.features, featureEntry{name: rec.Name, output: rec.Output})
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown record type %q", ErrBadFrame, lineNo, rec.Type)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("frames: read: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("%w: missing header", ErrBadFrame)
+	}
+	return f, nil
+}
+
+// Entity materializes the frame as an in-memory entity that validation can
+// run against exactly as it would against the live source. The entity
+// keeps the captured source's type (a frame of a host validates as a
+// host), which is what makes touchless validation transparent to
+// entity-type-scoped rules.
+func (f *Frame) Entity() *entity.Mem {
+	m := entity.NewMem(f.Name, f.EntityType)
+	for _, d := range f.dirs {
+		m.AddDir(d.path, entity.WithMode(d.mode), entity.WithOwner(d.uid, d.gid))
+	}
+	for _, fe := range f.files {
+		m.AddFile(fe.path, fe.content,
+			entity.WithMode(fe.mode),
+			entity.WithOwner(fe.uid, fe.gid),
+			entity.WithModTime(fe.modTime))
+	}
+	m.SetPackages(f.packages)
+	for _, ft := range f.features {
+		m.SetFeature(ft.name, ft.output)
+	}
+	return m
+}
+
+// NumFiles reports how many file records the frame holds.
+func (f *Frame) NumFiles() int { return len(f.files) }
+
+// NumPackages reports how many package records the frame holds.
+func (f *Frame) NumPackages() int { return len(f.packages) }

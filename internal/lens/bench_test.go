@@ -1,0 +1,58 @@
+package lens
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchParse(b *testing.B, l Lens, path, src string) {
+	b.Helper()
+	content := []byte(src)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(content)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Parse(path, content); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseNginx(b *testing.B) {
+	benchParse(b, NewNginx(), "nginx.conf", sampleNginx)
+}
+
+func BenchmarkParseSSHD(b *testing.B) {
+	benchParse(b, NewSSHD(), "sshd_config", strings.Repeat(sampleSSHD, 4))
+}
+
+func BenchmarkParseSysctl(b *testing.B) {
+	benchParse(b, NewSysctl(), "sysctl.conf", strings.Repeat(sampleSysctl, 8))
+}
+
+func BenchmarkParseINI(b *testing.B) {
+	benchParse(b, NewINI("mysql"), "my.cnf", sampleMyCnf)
+}
+
+func BenchmarkParseFstab(b *testing.B) {
+	benchParse(b, NewFstab(), "/etc/fstab", strings.Repeat(sampleFstab, 8))
+}
+
+func BenchmarkParseAudit(b *testing.B) {
+	benchParse(b, NewAudit(), "audit.rules", strings.Repeat(sampleAudit, 8))
+}
+
+func BenchmarkRenderNginx(b *testing.B) {
+	l := NewNginx()
+	res, err := l.Parse("nginx.conf", []byte(sampleNginx))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Render(res.Tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

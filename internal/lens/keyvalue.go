@@ -1,0 +1,215 @@
+package lens
+
+import (
+	"strings"
+
+	"configvalidator/internal/configtree"
+)
+
+// KeyValue is a generic lens for flat "key <sep> value" files. It covers the
+// simplest key-value-tree pattern from §2.1.1 of the paper.
+type KeyValue struct {
+	name string
+	sep  string // separator: "=" or ":"; empty means whitespace
+}
+
+var _ Lens = (*KeyValue)(nil)
+
+// NewKeyValue returns a key-value lens using the given separator; pass ""
+// for whitespace-separated files.
+func NewKeyValue(name, sep string) *KeyValue {
+	return &KeyValue{name: name, sep: sep}
+}
+
+// Name implements Lens.
+func (l *KeyValue) Name() string { return l.name }
+
+// Kind implements Lens.
+func (l *KeyValue) Kind() Kind { return KindTree }
+
+// Parse implements Lens.
+func (l *KeyValue) Parse(path string, content []byte) (*Result, error) {
+	root := configtree.New(path)
+	root.File = path
+	for i, line := range splitLines(content) {
+		line = strings.TrimSpace(stripLineComment(line, "#"))
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		key, value, ok := splitKeyValue(line, l.sep)
+		if !ok {
+			return nil, parseErrorf(l.name, path, i+1, "expected 'key%svalue', got %q", displaySep(l.sep), line)
+		}
+		node := root.Add(key, value)
+		node.Line = i + 1
+	}
+	return &Result{Kind: KindTree, Tree: root}, nil
+}
+
+// Sysctl parses sysctl.conf-style files. Dotted keys expand into nested
+// tree paths so that rules can address net/ipv4/ip_forward naturally.
+type Sysctl struct{}
+
+var _ Lens = (*Sysctl)(nil)
+
+// NewSysctl returns the sysctl lens.
+func NewSysctl() *Sysctl { return &Sysctl{} }
+
+// Name implements Lens.
+func (l *Sysctl) Name() string { return "sysctl" }
+
+// Kind implements Lens.
+func (l *Sysctl) Kind() Kind { return KindTree }
+
+// Parse implements Lens.
+func (l *Sysctl) Parse(path string, content []byte) (*Result, error) {
+	root := configtree.New(path)
+	root.File = path
+	for i, line := range splitLines(content) {
+		line = strings.TrimSpace(stripLineComment(line, "#"))
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		key, value, ok := splitKeyValue(line, "=")
+		if !ok {
+			return nil, parseErrorf("sysctl", path, i+1, "expected 'key = value', got %q", line)
+		}
+		treePath := strings.ReplaceAll(key, ".", "/")
+		node, err := root.Put(treePath, value)
+		if err != nil {
+			return nil, parseErrorf("sysctl", path, i+1, "key %q: %v", key, err)
+		}
+		node.Line = i + 1
+	}
+	return &Result{Kind: KindTree, Tree: root}, nil
+}
+
+// SSHD parses OpenSSH server/client configuration: whitespace-separated
+// "Keyword arguments" lines, with Match blocks becoming sections.
+type SSHD struct{}
+
+var _ Lens = (*SSHD)(nil)
+
+// NewSSHD returns the sshd_config lens.
+func NewSSHD() *SSHD { return &SSHD{} }
+
+// Name implements Lens.
+func (l *SSHD) Name() string { return "sshd" }
+
+// Kind implements Lens.
+func (l *SSHD) Kind() Kind { return KindTree }
+
+// Parse implements Lens.
+func (l *SSHD) Parse(path string, content []byte) (*Result, error) {
+	root := configtree.New(path)
+	root.File = path
+	current := root
+	for i, line := range splitLines(content) {
+		line = strings.TrimSpace(stripLineComment(line, "#"))
+		if line == "" {
+			continue
+		}
+		parts := fields(line)
+		if len(parts) == 0 {
+			continue
+		}
+		key := parts[0]
+		value := strings.TrimSpace(line[len(key):])
+		// sshd_config also accepts "Key=value".
+		if eq := strings.IndexByte(key, '='); eq > 0 {
+			value = key[eq+1:] + value
+			key = key[:eq]
+		} else if strings.HasPrefix(value, "=") {
+			value = strings.TrimSpace(value[1:])
+		}
+		if strings.EqualFold(key, "Match") {
+			section := root.Section("Match")
+			section.Value = value
+			section.Line = i + 1
+			current = section
+			continue
+		}
+		node := current.Add(key, value)
+		node.Line = i + 1
+	}
+	return &Result{Kind: KindTree, Tree: root}, nil
+}
+
+// Properties parses Java-style .properties files (key=value or key:value,
+// backslash escapes for separators).
+type Properties struct{}
+
+var _ Lens = (*Properties)(nil)
+
+// NewProperties returns the properties lens.
+func NewProperties() *Properties { return &Properties{} }
+
+// Name implements Lens.
+func (l *Properties) Name() string { return "properties" }
+
+// Kind implements Lens.
+func (l *Properties) Kind() Kind { return KindTree }
+
+// Parse implements Lens.
+func (l *Properties) Parse(path string, content []byte) (*Result, error) {
+	root := configtree.New(path)
+	root.File = path
+	lines := splitLines(content)
+	for i := 0; i < len(lines); i++ {
+		line := strings.TrimSpace(lines[i])
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "!") {
+			continue
+		}
+		// Line continuations: a trailing backslash joins the next line.
+		for strings.HasSuffix(line, "\\") && i+1 < len(lines) {
+			i++
+			line = strings.TrimSuffix(line, "\\") + strings.TrimSpace(lines[i])
+		}
+		sepIdx := -1
+		for j := 0; j < len(line); j++ {
+			c := line[j]
+			if c == '\\' {
+				j++
+				continue
+			}
+			if c == '=' || c == ':' {
+				sepIdx = j
+				break
+			}
+		}
+		var key, value string
+		if sepIdx < 0 {
+			key, value = line, ""
+		} else {
+			key = strings.TrimSpace(line[:sepIdx])
+			value = strings.TrimSpace(line[sepIdx+1:])
+		}
+		key = strings.NewReplacer(`\=`, "=", `\:`, ":", `\ `, " ").Replace(key)
+		node := root.Add(key, value)
+		node.Line = i + 1
+	}
+	return &Result{Kind: KindTree, Tree: root}, nil
+}
+
+// splitKeyValue splits a line at the separator; sep=="" means whitespace.
+func splitKeyValue(line, sep string) (key, value string, ok bool) {
+	if sep == "" {
+		parts := fields(line)
+		if len(parts) == 0 {
+			return "", "", false
+		}
+		return parts[0], strings.TrimSpace(line[len(parts[0]):]), true
+	}
+	idx := strings.Index(line, sep)
+	if idx <= 0 {
+		return "", "", false
+	}
+	return strings.TrimSpace(line[:idx]), strings.TrimSpace(line[idx+len(sep):]), true
+}
+
+func displaySep(sep string) string {
+	if sep == "" {
+		return " "
+	}
+	return sep
+}

@@ -1,0 +1,90 @@
+package lens
+
+import (
+	"testing"
+)
+
+func TestHostsLens(t *testing.T) {
+	src := "127.0.0.1 localhost\n10.0.0.5 web-01 web-01.internal web\n"
+	res := parseWith(t, NewHosts(), "/etc/hosts", src)
+	tbl := res.Table
+	if tbl.Len() != 2 {
+		t.Fatalf("rows = %d", tbl.Len())
+	}
+	if tbl.Rows[1][0] != "10.0.0.5" || tbl.Rows[1][1] != "web-01" || tbl.Rows[1][2] != "web-01.internal web" {
+		t.Errorf("row = %v", tbl.Rows[1])
+	}
+	out, err := tbl.Select(sel("hostname = ?", "localhost"))
+	if err != nil || out.Len() != 1 {
+		t.Errorf("query = %v, %v", out, err)
+	}
+}
+
+func TestResolvLens(t *testing.T) {
+	src := "nameserver 10.0.0.2\nnameserver 10.0.0.3\nsearch internal.example.com example.com\noptions timeout:2\n"
+	res := parseWith(t, NewResolv(), "/etc/resolv.conf", src)
+	out, err := res.Table.Select(sel("directive = ?", "nameserver"))
+	if err != nil || out.Len() != 2 {
+		t.Fatalf("nameservers = %v, %v", out, err)
+	}
+	search, err := res.Table.Select(sel("directive = ?", "search"))
+	if err != nil || search.Rows[0][1] != "internal.example.com example.com" {
+		t.Errorf("search = %v, %v", search.Rows, err)
+	}
+}
+
+func TestLimitsLens(t *testing.T) {
+	src := "* hard core 0\n@admin soft nofile 4096\n"
+	res := parseWith(t, NewLimits(), "/etc/security/limits.conf", src)
+	out, err := res.Table.Select(sel("item = ? AND type = ?", "core", "hard"))
+	if err != nil || out.Len() != 1 || out.Rows[0][3] != "0" {
+		t.Errorf("core limit = %v, %v", out, err)
+	}
+	if _, err := NewLimits().Parse("f", []byte("incomplete line\n")); err == nil {
+		t.Error("short limits row accepted")
+	}
+}
+
+func TestCrontabLens(t *testing.T) {
+	src := `SHELL=/bin/sh
+PATH=/usr/bin:/bin
+17 * * * * root cd / && run-parts --report /etc/cron.hourly
+25 6 * * 7 root test -x /usr/sbin/anacron
+`
+	res := parseWith(t, NewCrontab(), "/etc/crontab", src)
+	tbl := res.Table
+	if tbl.Len() != 4 {
+		t.Fatalf("rows = %d\n%s", tbl.Len(), tbl)
+	}
+	envs, err := tbl.Select(sel("kind = ?", "env"))
+	if err != nil || envs.Len() != 2 {
+		t.Errorf("env rows = %v, %v", envs, err)
+	}
+	jobs, err := tbl.Select(sel("kind = ? AND user = ?", "job", "root"))
+	if err != nil || jobs.Len() != 2 {
+		t.Errorf("job rows = %v, %v", jobs, err)
+	}
+	if got := jobs.Rows[0][7]; got != "cd / && run-parts --report /etc/cron.hourly" {
+		t.Errorf("command = %q", got)
+	}
+	if _, err := NewCrontab().Parse("f", []byte("17 * * * root\n")); err == nil {
+		t.Error("short crontab line accepted")
+	}
+}
+
+func TestMiscRegistrySelection(t *testing.T) {
+	r := Default()
+	for path, want := range map[string]string{
+		"/etc/hosts":                    "hosts",
+		"/etc/resolv.conf":              "resolv",
+		"/etc/security/limits.conf":     "limits",
+		"/etc/security/limits.d/x.conf": "limits",
+		"/etc/crontab":                  "crontab",
+		"/etc/cron.d/backup":            "crontab",
+	} {
+		l, ok := r.ForFile(path)
+		if !ok || l.Name() != want {
+			t.Errorf("lens for %s = %v, want %s", path, l, want)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package lens
+
+import (
+	"strings"
+
+	"configvalidator/internal/schema"
+)
+
+// Modprobe parses modprobe.d configuration files into a table with columns:
+//
+//	directive  install | blacklist | options | alias | remove | softdep
+//	module     the module (or alias wildcard) the directive applies to
+//	args       everything after the module name
+//	raw        the original line
+//
+// CIS rules such as "ensure mounting of cramfs is disabled" check for rows
+// like (install, cramfs, /bin/true).
+type Modprobe struct{}
+
+var _ Lens = (*Modprobe)(nil)
+
+// NewModprobe returns the modprobe.d lens.
+func NewModprobe() *Modprobe { return &Modprobe{} }
+
+// Name implements Lens.
+func (l *Modprobe) Name() string { return "modprobe" }
+
+// Kind implements Lens.
+func (l *Modprobe) Kind() Kind { return KindSchema }
+
+var modprobeDirectives = map[string]bool{
+	"install":   true,
+	"blacklist": true,
+	"options":   true,
+	"alias":     true,
+	"remove":    true,
+	"softdep":   true,
+}
+
+// Parse implements Lens.
+func (l *Modprobe) Parse(path string, content []byte) (*Result, error) {
+	t := schema.New(path, "directive", "module", "args", "raw")
+	t.File = path
+	lines := splitLines(content)
+	for i := 0; i < len(lines); i++ {
+		lineNum := i + 1
+		line := strings.TrimSpace(lines[i])
+		for strings.HasSuffix(line, "\\") && i+1 < len(lines) {
+			i++
+			line = strings.TrimSuffix(line, "\\") + " " + strings.TrimSpace(lines[i])
+		}
+		line = strings.TrimSpace(stripLineComment(line, "#"))
+		if line == "" {
+			continue
+		}
+		parts := fields(line)
+		if !modprobeDirectives[parts[0]] {
+			return nil, parseErrorf("modprobe", path, lineNum, "unknown directive %q", parts[0])
+		}
+		if len(parts) < 2 {
+			return nil, parseErrorf("modprobe", path, lineNum, "directive %q requires a module name", parts[0])
+		}
+		args := ""
+		if len(parts) > 2 {
+			args = strings.Join(parts[2:], " ")
+		}
+		if err := t.AddRow(parts[0], parts[1], args, line); err != nil {
+			return nil, parseErrorf("modprobe", path, lineNum, "%v", err)
+		}
+	}
+	return &Result{Kind: KindSchema, Table: t}, nil
+}

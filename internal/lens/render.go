@@ -1,0 +1,188 @@
+package lens
+
+import (
+	"fmt"
+	"strings"
+
+	"configvalidator/internal/configtree"
+)
+
+// Renderer is implemented by lenses that can write a (possibly edited)
+// config tree back to the file's native format — the Augeas "editing"
+// direction, which powers remediation proposals. Rendering is canonical
+// rather than comment/whitespace-preserving: the guarantee, checked by
+// property tests, is Parse(Render(t)) ≡ t.
+type Renderer interface {
+	// Render serializes the tree in the lens's native file format.
+	Render(tree *configtree.Node) ([]byte, error)
+}
+
+// Compile-time checks: these lenses support write-back.
+var (
+	_ Renderer = (*KeyValue)(nil)
+	_ Renderer = (*Sysctl)(nil)
+	_ Renderer = (*SSHD)(nil)
+	_ Renderer = (*INI)(nil)
+	_ Renderer = (*Nginx)(nil)
+	_ Renderer = (*Properties)(nil)
+)
+
+// Render implements Renderer for flat key-value files.
+func (l *KeyValue) Render(tree *configtree.Node) ([]byte, error) {
+	var b strings.Builder
+	sep := l.sep
+	if sep == "" {
+		sep = " "
+	} else {
+		sep = " " + sep + " "
+	}
+	for _, c := range tree.Children {
+		if len(c.Children) > 0 {
+			return nil, fmt.Errorf("lens %s: cannot render nested node %q", l.name, c.Label)
+		}
+		fmt.Fprintf(&b, "%s%s%s\n", c.Label, sep, c.Value)
+	}
+	return []byte(b.String()), nil
+}
+
+// Render implements Renderer: nested tree paths collapse back to dotted
+// sysctl keys.
+func (l *Sysctl) Render(tree *configtree.Node) ([]byte, error) {
+	var b strings.Builder
+	var walk func(prefix string, n *configtree.Node)
+	walk = func(prefix string, n *configtree.Node) {
+		for _, c := range n.Children {
+			key := c.Label
+			if prefix != "" {
+				key = prefix + "." + c.Label
+			}
+			if len(c.Children) > 0 {
+				walk(key, c)
+				continue
+			}
+			fmt.Fprintf(&b, "%s = %s\n", key, c.Value)
+		}
+	}
+	walk("", tree)
+	return []byte(b.String()), nil
+}
+
+// Render implements Renderer for sshd_config: top-level directives first,
+// then Match blocks with indented bodies.
+func (l *SSHD) Render(tree *configtree.Node) ([]byte, error) {
+	var b strings.Builder
+	var matches []*configtree.Node
+	for _, c := range tree.Children {
+		if c.Label == "Match" {
+			matches = append(matches, c)
+			continue
+		}
+		writeDirective(&b, "", c.Label, c.Value)
+	}
+	for _, m := range matches {
+		fmt.Fprintf(&b, "Match %s\n", m.Value)
+		for _, c := range m.Children {
+			writeDirective(&b, "    ", c.Label, c.Value)
+		}
+	}
+	return []byte(b.String()), nil
+}
+
+func writeDirective(b *strings.Builder, indent, key, value string) {
+	b.WriteString(indent)
+	b.WriteString(key)
+	if value != "" {
+		b.WriteByte(' ')
+		b.WriteString(value)
+	}
+	b.WriteByte('\n')
+}
+
+// Render implements Renderer for INI files: root-level keys first, then
+// one [section] per child section.
+func (l *INI) Render(tree *configtree.Node) ([]byte, error) {
+	var b strings.Builder
+	var sections []*configtree.Node
+	for _, c := range tree.Children {
+		if len(c.Children) > 0 {
+			sections = append(sections, c)
+			continue
+		}
+		writeINIEntry(&b, c)
+	}
+	for i, s := range sections {
+		if i > 0 || b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "[%s]\n", s.Label)
+		for _, c := range s.Children {
+			if len(c.Children) > 0 {
+				return nil, fmt.Errorf("lens %s: cannot render doubly nested node %q", l.name, c.Label)
+			}
+			writeINIEntry(&b, c)
+		}
+	}
+	return []byte(b.String()), nil
+}
+
+func writeINIEntry(b *strings.Builder, n *configtree.Node) {
+	switch {
+	case n.Label == "#include":
+		fmt.Fprintf(b, "!%s\n", n.Value)
+	case n.Value == "":
+		fmt.Fprintf(b, "%s\n", n.Label)
+	default:
+		fmt.Fprintf(b, "%s = %s\n", n.Label, n.Value)
+	}
+}
+
+// Render implements Renderer for nginx configuration: directives become
+// "name args;" lines, sections become "name args { ... }" blocks.
+func (l *Nginx) Render(tree *configtree.Node) ([]byte, error) {
+	var b strings.Builder
+	renderNginxChildren(&b, tree, 0)
+	return []byte(b.String()), nil
+}
+
+func renderNginxChildren(b *strings.Builder, n *configtree.Node, depth int) {
+	indent := strings.Repeat("    ", depth)
+	for _, c := range n.Children {
+		if len(c.Children) > 0 {
+			b.WriteString(indent)
+			b.WriteString(c.Label)
+			if c.Value != "" {
+				b.WriteByte(' ')
+				b.WriteString(c.Value)
+			}
+			b.WriteString(" {\n")
+			renderNginxChildren(b, c, depth+1)
+			b.WriteString(indent)
+			b.WriteString("}\n")
+			continue
+		}
+		b.WriteString(indent)
+		b.WriteString(c.Label)
+		if c.Value != "" {
+			b.WriteByte(' ')
+			b.WriteString(c.Value)
+		}
+		b.WriteString(";\n")
+	}
+}
+
+// Render implements Renderer for properties files.
+func (l *Properties) Render(tree *configtree.Node) ([]byte, error) {
+	var b strings.Builder
+	replacer := strings.NewReplacer("=", `\=`, ":", `\:`, " ", `\ `)
+	for _, c := range tree.Children {
+		if len(c.Children) > 0 {
+			return nil, fmt.Errorf("lens properties: cannot render nested node %q", c.Label)
+		}
+		if c.Value == "" {
+			fmt.Fprintf(&b, "%s\n", replacer.Replace(c.Label))
+			continue
+		}
+		fmt.Fprintf(&b, "%s=%s\n", replacer.Replace(c.Label), c.Value)
+	}
+	return []byte(b.String()), nil
+}

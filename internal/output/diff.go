@@ -1,0 +1,117 @@
+package output
+
+import (
+	"fmt"
+	"io"
+
+	"configvalidator/internal/engine"
+)
+
+// Drift is the comparison of two reports for the same entity across time —
+// the unit of continuous validation: the paper's production system scans
+// entities daily, and what operators act on is the change set.
+type Drift struct {
+	// Regressions are rules that passed before and fail now.
+	Regressions []*engine.Result
+	// Fixes are rules that failed before and pass now.
+	Fixes []*engine.Result
+	// Appeared are rules present only in the new report (new rules, or
+	// newly applicable ones).
+	Appeared []*engine.Result
+	// Disappeared are rules present only in the old report.
+	Disappeared []*engine.Result
+}
+
+// Empty reports whether nothing changed.
+func (d *Drift) Empty() bool {
+	return len(d.Regressions) == 0 && len(d.Fixes) == 0 &&
+		len(d.Appeared) == 0 && len(d.Disappeared) == 0
+}
+
+// DiffReports compares two reports result-by-result, keyed by manifest
+// entity + rule identity. Config-parse error results (no rule attached)
+// participate keyed by file.
+func DiffReports(old, new *engine.Report) *Drift {
+	oldByKey := indexResults(old)
+	newByKey := indexResults(new)
+	d := &Drift{}
+	for key, nr := range newByKey {
+		or, existed := oldByKey[key]
+		if !existed {
+			d.Appeared = append(d.Appeared, nr)
+			continue
+		}
+		switch {
+		case or.Status != engine.StatusFail && nr.Status == engine.StatusFail:
+			d.Regressions = append(d.Regressions, nr)
+		case or.Status == engine.StatusFail && nr.Status == engine.StatusPass:
+			d.Fixes = append(d.Fixes, nr)
+		}
+	}
+	for key, or := range oldByKey {
+		if _, exists := newByKey[key]; !exists {
+			d.Disappeared = append(d.Disappeared, or)
+		}
+	}
+	sortResults(d.Regressions)
+	sortResults(d.Fixes)
+	sortResults(d.Appeared)
+	sortResults(d.Disappeared)
+	return d
+}
+
+func indexResults(rep *engine.Report) map[string]*engine.Result {
+	out := make(map[string]*engine.Result, len(rep.Results))
+	for _, r := range rep.Results {
+		key := r.ManifestEntity + "/"
+		if r.Rule != nil {
+			key += r.Rule.Key()
+		} else {
+			key += "parse:" + r.File
+		}
+		out[key] = r
+	}
+	return out
+}
+
+func sortResults(results []*engine.Result) {
+	for i := 1; i < len(results); i++ {
+		for j := i; j > 0 && resultKey(results[j]) < resultKey(results[j-1]); j-- {
+			results[j], results[j-1] = results[j-1], results[j]
+		}
+	}
+}
+
+func resultKey(r *engine.Result) string {
+	name := r.File
+	if r.Rule != nil {
+		name = r.Rule.Name
+	}
+	return r.ManifestEntity + "/" + name
+}
+
+// WriteDrift renders a drift report.
+func WriteDrift(w io.Writer, d *Drift) error {
+	if d.Empty() {
+		_, err := fmt.Fprintln(w, "No drift: reports are equivalent.")
+		return err
+	}
+	section := func(title string, results []*engine.Result) {
+		if len(results) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "%s (%d):\n", title, len(results))
+		for _, r := range results {
+			name := r.File
+			if r.Rule != nil {
+				name = r.Rule.Name
+			}
+			fmt.Fprintf(w, "  %s/%s: %s\n", r.ManifestEntity, name, r.Message)
+		}
+	}
+	section("REGRESSIONS", d.Regressions)
+	section("FIXES", d.Fixes)
+	section("NEW CHECKS", d.Appeared)
+	section("REMOVED CHECKS", d.Disappeared)
+	return nil
+}

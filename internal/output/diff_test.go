@@ -1,0 +1,112 @@
+package output
+
+import (
+	"strings"
+	"testing"
+
+	"configvalidator/internal/cvl"
+	"configvalidator/internal/engine"
+)
+
+func result(entity, rule string, status engine.Status) *engine.Result {
+	return &engine.Result{
+		ManifestEntity: entity,
+		Rule:           &cvl.Rule{Type: cvl.TypeTree, Name: rule},
+		Status:         status,
+		Message:        rule + " message",
+	}
+}
+
+func TestDiffReportsClassification(t *testing.T) {
+	old := &engine.Report{Results: []*engine.Result{
+		result("sshd", "PermitRootLogin", engine.StatusPass),
+		result("sshd", "Protocol", engine.StatusFail),
+		result("sshd", "Removed", engine.StatusPass),
+		result("nginx", "user", engine.StatusFail),
+	}}
+	newer := &engine.Report{Results: []*engine.Result{
+		result("sshd", "PermitRootLogin", engine.StatusFail), // regression
+		result("sshd", "Protocol", engine.StatusPass),        // fix
+		result("nginx", "user", engine.StatusFail),           // unchanged
+		result("nginx", "added", engine.StatusPass),          // appeared
+	}}
+	d := DiffReports(old, newer)
+	if len(d.Regressions) != 1 || d.Regressions[0].Rule.Name != "PermitRootLogin" {
+		t.Errorf("regressions = %+v", d.Regressions)
+	}
+	if len(d.Fixes) != 1 || d.Fixes[0].Rule.Name != "Protocol" {
+		t.Errorf("fixes = %+v", d.Fixes)
+	}
+	if len(d.Appeared) != 1 || d.Appeared[0].Rule.Name != "added" {
+		t.Errorf("appeared = %+v", d.Appeared)
+	}
+	if len(d.Disappeared) != 1 || d.Disappeared[0].Rule.Name != "Removed" {
+		t.Errorf("disappeared = %+v", d.Disappeared)
+	}
+	if d.Empty() {
+		t.Error("non-empty drift reported empty")
+	}
+}
+
+func TestDiffNAToFailIsRegression(t *testing.T) {
+	old := &engine.Report{Results: []*engine.Result{result("mysql", "ssl", engine.StatusNotApplicable)}}
+	newer := &engine.Report{Results: []*engine.Result{result("mysql", "ssl", engine.StatusFail)}}
+	d := DiffReports(old, newer)
+	if len(d.Regressions) != 1 {
+		t.Errorf("N/A -> FAIL should be a regression: %+v", d)
+	}
+}
+
+func TestDiffIdenticalReportsEmpty(t *testing.T) {
+	rep := &engine.Report{Results: []*engine.Result{
+		result("sshd", "a", engine.StatusPass),
+		result("sshd", "b", engine.StatusFail),
+	}}
+	d := DiffReports(rep, rep)
+	if !d.Empty() {
+		t.Errorf("self-diff = %+v", d)
+	}
+	var b strings.Builder
+	if err := WriteDrift(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "No drift") {
+		t.Errorf("output = %q", b.String())
+	}
+}
+
+func TestDiffParseErrorResults(t *testing.T) {
+	parseErr := &engine.Result{ManifestEntity: "nginx", Status: engine.StatusError, File: "/etc/nginx/broken.conf", Message: "parse failed"}
+	old := &engine.Report{Results: []*engine.Result{}}
+	newer := &engine.Report{Results: []*engine.Result{parseErr}}
+	d := DiffReports(old, newer)
+	if len(d.Appeared) != 1 {
+		t.Errorf("parse error not tracked: %+v", d)
+	}
+}
+
+func TestWriteDriftSections(t *testing.T) {
+	old := &engine.Report{Results: []*engine.Result{result("sshd", "x", engine.StatusPass)}}
+	newer := &engine.Report{Results: []*engine.Result{result("sshd", "x", engine.StatusFail)}}
+	var b strings.Builder
+	if err := WriteDrift(&b, DiffReports(old, newer)); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "REGRESSIONS (1):") || !strings.Contains(out, "sshd/x") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestDriftSorted(t *testing.T) {
+	old := &engine.Report{}
+	newer := &engine.Report{Results: []*engine.Result{
+		result("z", "z", engine.StatusPass),
+		result("a", "a", engine.StatusPass),
+		result("m", "m", engine.StatusPass),
+	}}
+	d := DiffReports(old, newer)
+	if len(d.Appeared) != 3 || d.Appeared[0].ManifestEntity != "a" || d.Appeared[2].ManifestEntity != "z" {
+		t.Errorf("not sorted: %+v", d.Appeared)
+	}
+}

@@ -1,0 +1,105 @@
+package output
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"configvalidator/internal/engine"
+)
+
+// junitTestsuite is the JUnit XML shape CI systems ingest. Each manifest
+// entity becomes a test suite and each rule a test case, so validation
+// findings surface in the same dashboards as unit-test failures —
+// continuous compliance in the CI pipeline.
+type junitTestsuites struct {
+	XMLName  xml.Name         `xml:"testsuites"`
+	Name     string           `xml:"name,attr"`
+	Tests    int              `xml:"tests,attr"`
+	Failures int              `xml:"failures,attr"`
+	Errors   int              `xml:"errors,attr"`
+	Skipped  int              `xml:"skipped,attr"`
+	Suites   []junitTestsuite `xml:"testsuite"`
+}
+
+type junitTestsuite struct {
+	Name     string          `xml:"name,attr"`
+	Tests    int             `xml:"tests,attr"`
+	Failures int             `xml:"failures,attr"`
+	Errors   int             `xml:"errors,attr"`
+	Skipped  int             `xml:"skipped,attr"`
+	Cases    []junitTestcase `xml:"testcase"`
+}
+
+type junitTestcase struct {
+	Name      string        `xml:"name,attr"`
+	Classname string        `xml:"classname,attr"`
+	Failure   *junitMessage `xml:"failure,omitempty"`
+	Error     *junitMessage `xml:"error,omitempty"`
+	Skipped   *junitMessage `xml:"skipped,omitempty"`
+}
+
+type junitMessage struct {
+	Message string `xml:"message,attr"`
+	Body    string `xml:",chardata"`
+}
+
+// WriteJUnit renders the report as JUnit XML: PASS → passing case, FAIL →
+// failure, ERROR → error, N/A → skipped.
+func WriteJUnit(w io.Writer, rep *engine.Report, opts Options) error {
+	results := filterResults(rep.Results, opts.TagFilter)
+	bySuite := make(map[string][]*engine.Result)
+	var order []string
+	for _, r := range results {
+		if _, seen := bySuite[r.ManifestEntity]; !seen {
+			order = append(order, r.ManifestEntity)
+		}
+		bySuite[r.ManifestEntity] = append(bySuite[r.ManifestEntity], r)
+	}
+	out := junitTestsuites{Name: rep.EntityName}
+	for _, suiteName := range order {
+		suite := junitTestsuite{Name: suiteName}
+		for _, r := range bySuite[suiteName] {
+			name := "(config parse)"
+			if r.Rule != nil {
+				name = r.Rule.Name
+			}
+			tc := junitTestcase{
+				Name:      name,
+				Classname: rep.EntityName + "." + suiteName,
+			}
+			msg := &junitMessage{Message: r.Message, Body: r.Detail}
+			if r.File != "" {
+				msg.Body = fmt.Sprintf("%s (file: %s)", r.Detail, r.File)
+			}
+			switch r.Status {
+			case engine.StatusFail:
+				tc.Failure = msg
+				suite.Failures++
+			case engine.StatusError:
+				tc.Error = msg
+				suite.Errors++
+			case engine.StatusNotApplicable:
+				tc.Skipped = msg
+				suite.Skipped++
+			}
+			suite.Tests++
+			suite.Cases = append(suite.Cases, tc)
+		}
+		out.Tests += suite.Tests
+		out.Failures += suite.Failures
+		out.Errors += suite.Errors
+		out.Skipped += suite.Skipped
+		out.Suites = append(out.Suites, suite)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("output: junit: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

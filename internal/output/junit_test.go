@@ -1,0 +1,66 @@
+package output
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestWriteJUnit(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJUnit(&b, sampleReport(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, xml.Header) {
+		t.Error("missing XML header")
+	}
+	var decoded junitTestsuites
+	if err := xml.Unmarshal([]byte(strings.TrimPrefix(out, xml.Header)), &decoded); err != nil {
+		t.Fatalf("invalid XML: %v\n%s", err, out)
+	}
+	if decoded.Name != "web-01" || decoded.Tests != 4 || decoded.Failures != 1 || decoded.Errors != 1 || decoded.Skipped != 1 {
+		t.Errorf("totals = %+v", decoded)
+	}
+	// One suite per manifest entity (sshd, nginx, mysql).
+	if len(decoded.Suites) != 3 {
+		t.Fatalf("suites = %d", len(decoded.Suites))
+	}
+	var nginx *junitTestsuite
+	for i := range decoded.Suites {
+		if decoded.Suites[i].Name == "nginx" {
+			nginx = &decoded.Suites[i]
+		}
+	}
+	if nginx == nil || nginx.Failures != 1 || nginx.Errors != 1 {
+		t.Fatalf("nginx suite = %+v", nginx)
+	}
+	var failCase *junitTestcase
+	for i := range nginx.Cases {
+		if nginx.Cases[i].Failure != nil {
+			failCase = &nginx.Cases[i]
+		}
+	}
+	if failCase == nil || failCase.Name != "ssl_protocols" {
+		t.Fatalf("failure case = %+v", failCase)
+	}
+	if failCase.Failure.Message != "Non-recommended TLS ver." {
+		t.Errorf("failure message = %q", failCase.Failure.Message)
+	}
+	if !strings.Contains(failCase.Failure.Body, "/etc/nginx/nginx.conf") {
+		t.Errorf("failure body = %q", failCase.Failure.Body)
+	}
+}
+
+func TestWriteJUnitTagFilter(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJUnit(&b, sampleReport(), Options{TagFilter: []string{"#cis"}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "ssl_protocols") {
+		t.Error("tag filter leaked owasp rule into junit output")
+	}
+	if !strings.Contains(b.String(), "PermitRootLogin") {
+		t.Error("cis rule missing from junit output")
+	}
+}

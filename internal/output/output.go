@@ -1,0 +1,196 @@
+// Package output implements the Output Processing module of
+// ConfigValidator (§3.1): it converts rule-engine results into
+// human-readable text and machine-readable JSON, combining each result with
+// the rule description, the outcome description, and the suggested
+// remediation from the rule specification.
+package output
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"configvalidator/internal/engine"
+)
+
+// Options control report rendering.
+type Options struct {
+	// ShowPassing includes PASS results in text output (failures, errors,
+	// and N/A always show when Verbose is set).
+	ShowPassing bool
+	// Verbose includes N/A results and per-result detail lines.
+	Verbose bool
+	// TagFilter limits output to results whose rule has any of these tags.
+	TagFilter []string
+}
+
+// WriteText renders the report as a human-readable summary.
+func WriteText(w io.Writer, rep *engine.Report, opts Options) error {
+	results := filterResults(rep.Results, opts.TagFilter)
+	counts := map[engine.Status]int{}
+	for _, r := range results {
+		counts[r.Status]++
+	}
+	if _, err := fmt.Fprintf(w, "Entity: %s (%s)\n", rep.EntityName, rep.EntityType); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Checks: %d total, %d passed, %d failed, %d not applicable, %d errors\n\n",
+		len(results), counts[engine.StatusPass], counts[engine.StatusFail],
+		counts[engine.StatusNotApplicable], counts[engine.StatusError])
+
+	for _, r := range results {
+		switch r.Status {
+		case engine.StatusPass:
+			if !opts.ShowPassing {
+				continue
+			}
+		case engine.StatusNotApplicable:
+			if !opts.Verbose {
+				continue
+			}
+		}
+		name := "(config parse)"
+		if r.Rule != nil {
+			name = r.Rule.Name
+		}
+		fmt.Fprintf(w, "[%s] %s/%s: %s\n", r.Status, r.ManifestEntity, name, r.Message)
+		if opts.Verbose && r.Detail != "" {
+			fmt.Fprintf(w, "        detail: %s\n", r.Detail)
+		}
+		if r.File != "" && (opts.Verbose || r.Status == engine.StatusFail) {
+			fmt.Fprintf(w, "        file: %s\n", r.File)
+		}
+		if r.Status == engine.StatusFail && r.Rule != nil && r.Rule.SuggestedAction != "" {
+			fmt.Fprintf(w, "        action: %s\n", r.Rule.SuggestedAction)
+		}
+	}
+	return nil
+}
+
+// jsonResult is the JSON shape of one result.
+type jsonResult struct {
+	Entity          string   `json:"entity"`
+	ManifestEntity  string   `json:"manifest_entity"`
+	Rule            string   `json:"rule,omitempty"`
+	RuleType        string   `json:"rule_type,omitempty"`
+	Status          string   `json:"status"`
+	Message         string   `json:"message"`
+	Detail          string   `json:"detail,omitempty"`
+	File            string   `json:"file,omitempty"`
+	Tags            []string `json:"tags,omitempty"`
+	Severity        string   `json:"severity,omitempty"`
+	SuggestedAction string   `json:"suggested_action,omitempty"`
+}
+
+// jsonReport is the JSON shape of a full report.
+type jsonReport struct {
+	Entity     string         `json:"entity"`
+	EntityType string         `json:"entity_type"`
+	Summary    map[string]int `json:"summary"`
+	Results    []jsonResult   `json:"results"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func WriteJSON(w io.Writer, rep *engine.Report, opts Options) error {
+	results := filterResults(rep.Results, opts.TagFilter)
+	out := jsonReport{
+		Entity:     rep.EntityName,
+		EntityType: rep.EntityType,
+		Summary:    make(map[string]int, 4),
+		Results:    make([]jsonResult, 0, len(results)),
+	}
+	for _, r := range results {
+		out.Summary[strings.ToLower(r.Status.String())]++
+		jr := jsonResult{
+			Entity:         r.EntityName,
+			ManifestEntity: r.ManifestEntity,
+			Status:         r.Status.String(),
+			Message:        r.Message,
+			Detail:         r.Detail,
+			File:           r.File,
+		}
+		if r.Rule != nil {
+			jr.Rule = r.Rule.Name
+			jr.RuleType = r.Rule.Type.String()
+			jr.Tags = r.Rule.Tags
+			jr.Severity = r.Rule.Severity
+			jr.SuggestedAction = r.Rule.SuggestedAction
+		}
+		out.Results = append(out.Results, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ComplianceSummary aggregates pass/fail counts per compliance tag prefix
+// (e.g. "#cis", "#owasp") across one or more reports.
+func ComplianceSummary(reports []*engine.Report) map[string]TagStats {
+	out := make(map[string]TagStats)
+	for _, rep := range reports {
+		for _, r := range rep.Results {
+			if r.Rule == nil {
+				continue
+			}
+			for _, tag := range r.Rule.Tags {
+				stats := out[tag]
+				stats.Total++
+				switch r.Status {
+				case engine.StatusPass:
+					stats.Passed++
+				case engine.StatusFail:
+					stats.Failed++
+				}
+				out[tag] = stats
+			}
+		}
+	}
+	return out
+}
+
+// TagStats counts outcomes for one tag.
+type TagStats struct {
+	Total  int
+	Passed int
+	Failed int
+}
+
+// WriteComplianceSummary renders a per-tag table sorted by tag.
+func WriteComplianceSummary(w io.Writer, reports []*engine.Report) error {
+	stats := ComplianceSummary(reports)
+	tags := make([]string, 0, len(stats))
+	for t := range stats {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	if _, err := fmt.Fprintf(w, "%-32s %8s %8s %8s\n", "TAG", "TOTAL", "PASS", "FAIL"); err != nil {
+		return err
+	}
+	for _, t := range tags {
+		s := stats[t]
+		fmt.Fprintf(w, "%-32s %8d %8d %8d\n", t, s.Total, s.Passed, s.Failed)
+	}
+	return nil
+}
+
+func filterResults(results []*engine.Result, tags []string) []*engine.Result {
+	if len(tags) == 0 {
+		return results
+	}
+	out := make([]*engine.Result, 0, len(results))
+	for _, r := range results {
+		if r.Rule == nil {
+			out = append(out, r)
+			continue
+		}
+		for _, t := range tags {
+			if r.Rule.HasTag(t) {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return out
+}

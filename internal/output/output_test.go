@@ -1,0 +1,166 @@
+package output
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"configvalidator/internal/cvl"
+	"configvalidator/internal/engine"
+)
+
+func sampleReport() *engine.Report {
+	return &engine.Report{
+		EntityName: "web-01",
+		EntityType: "host",
+		Results: []*engine.Result{
+			{
+				EntityName: "web-01", ManifestEntity: "sshd",
+				Rule:    &cvl.Rule{Name: "PermitRootLogin", Type: cvl.TypeTree, Tags: []string{"#cis"}},
+				Status:  engine.StatusPass,
+				Message: "Root login is disabled.",
+				File:    "/etc/ssh/sshd_config",
+			},
+			{
+				EntityName: "web-01", ManifestEntity: "nginx",
+				Rule: &cvl.Rule{
+					Name: "ssl_protocols", Type: cvl.TypeTree,
+					Tags:            []string{"#owasp", "#ssl"},
+					Severity:        "high",
+					SuggestedAction: "set ssl_protocols to TLSv1.2 TLSv1.3",
+				},
+				Status:  engine.StatusFail,
+				Message: "Non-recommended TLS ver.",
+				Detail:  `value "SSLv3" matches a non-preferred value`,
+				File:    "/etc/nginx/nginx.conf",
+			},
+			{
+				EntityName: "web-01", ManifestEntity: "mysql",
+				Rule:    &cvl.Rule{Name: "ssl", Type: cvl.TypeScript, Tags: []string{"#owasp"}},
+				Status:  engine.StatusNotApplicable,
+				Message: "ssl not applicable",
+				Detail:  "feature unavailable",
+			},
+			{
+				EntityName: "web-01", ManifestEntity: "nginx",
+				Status:  engine.StatusError,
+				Message: "lens nginx: /etc/nginx/broken.conf:3: unbalanced '}'",
+				File:    "/etc/nginx/broken.conf",
+			},
+		},
+	}
+}
+
+func TestWriteTextDefault(t *testing.T) {
+	var b strings.Builder
+	if err := WriteText(&b, sampleReport(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Entity: web-01 (host)",
+		"4 total, 1 passed, 1 failed, 1 not applicable, 1 errors",
+		"[FAIL] nginx/ssl_protocols: Non-recommended TLS ver.",
+		"action: set ssl_protocols to TLSv1.2 TLSv1.3",
+		"file: /etc/nginx/nginx.conf",
+		"[ERROR] nginx/(config parse)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// PASS and N/A hidden by default.
+	if strings.Contains(out, "[PASS]") || strings.Contains(out, "[N/A]") {
+		t.Errorf("default output should hide PASS and N/A:\n%s", out)
+	}
+}
+
+func TestWriteTextVerbose(t *testing.T) {
+	var b strings.Builder
+	if err := WriteText(&b, sampleReport(), Options{ShowPassing: true, Verbose: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"[PASS] sshd/PermitRootLogin", "[N/A] mysql/ssl", "detail: value \"SSLv3\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verbose output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTextTagFilter(t *testing.T) {
+	var b strings.Builder
+	if err := WriteText(&b, sampleReport(), Options{ShowPassing: true, TagFilter: []string{"#cis"}}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "PermitRootLogin") {
+		t.Errorf("cis rule missing:\n%s", out)
+	}
+	if strings.Contains(out, "ssl_protocols") {
+		t.Errorf("owasp rule should be filtered:\n%s", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, sampleReport(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Entity     string         `json:"entity"`
+		EntityType string         `json:"entity_type"`
+		Summary    map[string]int `json:"summary"`
+		Results    []struct {
+			Rule            string   `json:"rule"`
+			RuleType        string   `json:"rule_type"`
+			Status          string   `json:"status"`
+			Tags            []string `json:"tags"`
+			Severity        string   `json:"severity"`
+			SuggestedAction string   `json:"suggested_action"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if decoded.Entity != "web-01" || decoded.EntityType != "host" {
+		t.Errorf("header = %+v", decoded)
+	}
+	if decoded.Summary["pass"] != 1 || decoded.Summary["fail"] != 1 || decoded.Summary["n/a"] != 1 || decoded.Summary["error"] != 1 {
+		t.Errorf("summary = %v", decoded.Summary)
+	}
+	if len(decoded.Results) != 4 {
+		t.Fatalf("results = %d", len(decoded.Results))
+	}
+	fail := decoded.Results[1]
+	if fail.Rule != "ssl_protocols" || fail.RuleType != "config_tree" || fail.Severity != "high" {
+		t.Errorf("fail result = %+v", fail)
+	}
+	if len(fail.Tags) != 2 || fail.SuggestedAction == "" {
+		t.Errorf("fail metadata = %+v", fail)
+	}
+}
+
+func TestComplianceSummary(t *testing.T) {
+	stats := ComplianceSummary([]*engine.Report{sampleReport()})
+	cis := stats["#cis"]
+	if cis.Total != 1 || cis.Passed != 1 || cis.Failed != 0 {
+		t.Errorf("#cis = %+v", cis)
+	}
+	owasp := stats["#owasp"]
+	if owasp.Total != 2 || owasp.Failed != 1 {
+		t.Errorf("#owasp = %+v", owasp)
+	}
+	var b strings.Builder
+	if err := WriteComplianceSummary(&b, []*engine.Report{sampleReport()}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "#cis") || !strings.Contains(out, "TAG") {
+		t.Errorf("summary table:\n%s", out)
+	}
+	// Sorted output: #cis before #owasp.
+	if strings.Index(out, "#cis") > strings.Index(out, "#owasp") {
+		t.Errorf("tags not sorted:\n%s", out)
+	}
+}

@@ -1,0 +1,268 @@
+package remediate
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"configvalidator/internal/cvl"
+	"configvalidator/internal/engine"
+	"configvalidator/internal/entity"
+)
+
+func mustRules(t *testing.T, src string) []*cvl.Rule {
+	t.Helper()
+	rf, err := cvl.ParseRuleFile("r.yaml", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rf.Rules
+}
+
+func scan(t *testing.T, ent entity.Entity, rulesSrc string, paths ...string) *engine.Report {
+	t.Helper()
+	rep, err := engine.New(nil).ValidateRules(ent, mustRules(t, rulesSrc), paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// rescan verifies a proposal: applying the fix makes the rule pass.
+func rescan(t *testing.T, ent *entity.Mem, p *Proposal, rulesSrc string, paths ...string) {
+	t.Helper()
+	ent.AddFile(p.File, p.Fixed)
+	rep := scan(t, ent, rulesSrc, paths...)
+	for _, r := range rep.Results {
+		if r.Status == engine.StatusFail || r.Status == engine.StatusError {
+			t.Errorf("after remediation: [%v] %s (%s)\nfixed content:\n%s", r.Status, r.Message, r.Detail, p.Fixed)
+		}
+	}
+}
+
+const permitRootRule = `
+config_name: PermitRootLogin
+config_path: [""]
+file_context: ["sshd_config"]
+preferred_value: ["no"]
+not_matched_preferred_value_description: "root login enabled"
+not_present_description: "PermitRootLogin missing"
+`
+
+func TestProposeFixesWrongValue(t *testing.T) {
+	ent := entity.NewMem("h", entity.TypeHost)
+	ent.AddFile("/etc/ssh/sshd_config", []byte("Port 22\nPermitRootLogin yes\n"))
+	rep := scan(t, ent, permitRootRule, "/etc/ssh")
+	failed := rep.Failed()
+	if len(failed) != 1 {
+		t.Fatalf("failures = %d", len(failed))
+	}
+	p, err := New(nil).Propose(ent, failed[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.File != "/etc/ssh/sshd_config" || !strings.Contains(string(p.Fixed), "PermitRootLogin no") {
+		t.Errorf("proposal = %+v\nfixed:\n%s", p.Description, p.Fixed)
+	}
+	if !strings.Contains(string(p.Fixed), "Port 22") {
+		t.Error("unrelated directives lost")
+	}
+	rescan(t, ent, p, permitRootRule, "/etc/ssh")
+}
+
+func TestProposeSkipsNonFailures(t *testing.T) {
+	r := New(nil)
+	if _, err := r.Propose(entity.NewMem("h", entity.TypeHost), &engine.Result{Status: engine.StatusPass}); !errors.Is(err, ErrNotRemediable) {
+		t.Errorf("pass result: %v", err)
+	}
+	if _, err := r.Propose(entity.NewMem("h", entity.TypeHost), &engine.Result{Status: engine.StatusFail}); !errors.Is(err, ErrNotRemediable) {
+		t.Errorf("nil rule: %v", err)
+	}
+}
+
+func TestProposeRejectsRegexRules(t *testing.T) {
+	rule := `
+config_name: MaxAuthTries
+config_path: [""]
+preferred_value: ["^[1-4]$"]
+preferred_value_match: regex,any
+`
+	ent := entity.NewMem("h", entity.TypeHost)
+	ent.AddFile("/etc/ssh/sshd_config", []byte("MaxAuthTries 9\n"))
+	rep := scan(t, ent, rule, "/etc/ssh")
+	_, err := New(nil).Propose(ent, rep.Failed()[0])
+	if !errors.Is(err, ErrNotRemediable) || !strings.Contains(err.Error(), "regex") {
+		t.Errorf("regex rule: %v", err)
+	}
+}
+
+func TestProposeRejectsExactAllMultiValue(t *testing.T) {
+	rule := `
+config_name: Impossible
+config_path: [""]
+preferred_value: ["a", "b"]
+preferred_value_match: exact,all
+`
+	ent := entity.NewMem("h", entity.TypeHost)
+	ent.AddFile("/etc/ssh/sshd_config", []byte("Impossible c\n"))
+	rep := scan(t, ent, rule, "/etc/ssh")
+	if _, err := New(nil).Propose(ent, rep.Failed()[0]); !errors.Is(err, ErrNotRemediable) {
+		t.Errorf("exact,all multi-value: %v", err)
+	}
+}
+
+func TestProposeJoinsSubstrAllValues(t *testing.T) {
+	rule := `
+config_name: ssl_protocols
+config_path: ["http/server"]
+file_context: ["nginx.conf"]
+preferred_value: ["TLSv1.2", "TLSv1.3"]
+preferred_value_match: substr,all
+not_present_description: "missing"
+`
+	ent := entity.NewMem("h", entity.TypeHost)
+	ent.AddFile("/etc/nginx/nginx.conf", []byte("http {\n    server {\n        listen 443 ssl;\n        ssl_protocols SSLv3;\n    }\n}\n"))
+	rep := scan(t, ent, rule, "/etc/nginx")
+	p, err := New(nil).Propose(ent, rep.Failed()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(p.Fixed), "ssl_protocols TLSv1.2 TLSv1.3;") {
+		t.Errorf("fixed:\n%s", p.Fixed)
+	}
+	rescan(t, ent, p, rule, "/etc/nginx")
+}
+
+func TestProposeInsertsMissingKey(t *testing.T) {
+	ent := entity.NewMem("h", entity.TypeHost)
+	ent.AddFile("/etc/ssh/sshd_config", []byte("Port 22\n"))
+	rep := scan(t, ent, permitRootRule, "/etc/ssh")
+	failed := rep.Failed()
+	if len(failed) != 1 {
+		t.Fatalf("failures = %d: %+v", len(failed), rep.Results)
+	}
+	// The not-present failure carries no file; remediation needs one, so
+	// point it at the crawled config.
+	failed[0].File = "/etc/ssh/sshd_config"
+	p, err := New(nil).Propose(ent, failed[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(p.Fixed), "PermitRootLogin no") {
+		t.Errorf("fixed:\n%s", p.Fixed)
+	}
+	rescan(t, ent, p, permitRootRule, "/etc/ssh")
+}
+
+func TestProposeInsertsIntoSection(t *testing.T) {
+	rule := `
+config_name: local-infile
+config_path: ["mysqld"]
+file_context: ["my.cnf"]
+preferred_value: ["0"]
+not_present_description: "missing"
+`
+	ent := entity.NewMem("h", entity.TypeHost)
+	ent.AddFile("/etc/mysql/my.cnf", []byte("[mysqld]\nuser = mysql\n"))
+	rep := scan(t, ent, rule, "/etc/mysql")
+	failed := rep.Failed()
+	failed[0].File = "/etc/mysql/my.cnf"
+	p, err := New(nil).Propose(ent, failed[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := string(p.Fixed)
+	if !strings.Contains(fixed, "[mysqld]") || !strings.Contains(fixed, "local-infile = 0") {
+		t.Errorf("fixed:\n%s", fixed)
+	}
+	rescan(t, ent, p, rule, "/etc/mysql")
+}
+
+func TestProposeAllFiltersNonRemediable(t *testing.T) {
+	rules := permitRootRule + `
+---
+path_name: /etc/shadow
+ownership: "0:42"
+not_present_description: "missing shadow"
+---
+config_name: Ciphers
+config_path: [""]
+non_preferred_value: ["3des"]
+non_preferred_value_match: substr,any
+`
+	ent := entity.NewMem("h", entity.TypeHost)
+	ent.AddFile("/etc/ssh/sshd_config", []byte("PermitRootLogin yes\nCiphers 3des-cbc\n"))
+	rep := scan(t, ent, rules, "/etc/ssh")
+	if len(rep.Failed()) != 3 {
+		t.Fatalf("failures = %d", len(rep.Failed()))
+	}
+	proposals := New(nil).ProposeAll(ent, rep)
+	// Only PermitRootLogin is remediable: the path rule isn't a tree rule,
+	// and the Ciphers rule has no preferred value to set.
+	if len(proposals) != 1 || proposals[0].Rule.Name != "PermitRootLogin" {
+		t.Errorf("proposals = %+v", proposals)
+	}
+}
+
+func TestProposeMoreNonRemediablePaths(t *testing.T) {
+	r := New(nil)
+	ent := entity.NewMem("h", entity.TypeHost)
+	ent.AddFile("/etc/ssh/sshd_config", []byte("PermitRootLogin yes\n"))
+
+	// Failing result without a file reference.
+	rep := scan(t, ent, permitRootRule, "/etc/ssh")
+	noFile := *rep.Failed()[0]
+	noFile.File = ""
+	if _, err := r.Propose(ent, &noFile); !errors.Is(err, ErrNotRemediable) {
+		t.Errorf("no file: %v", err)
+	}
+	// File with no registered lens.
+	badLens := *rep.Failed()[0]
+	badLens.File = "/opt/unknown.bin"
+	if _, err := r.Propose(ent, &badLens); !errors.Is(err, ErrNotRemediable) {
+		t.Errorf("no lens: %v", err)
+	}
+	// File that exists but points at a schema lens (no tree to edit).
+	schemaFile := *rep.Failed()[0]
+	schemaFile.File = "/etc/fstab"
+	ent.AddFile("/etc/fstab", []byte("/dev/sda1 / ext4 defaults 0 1\n"))
+	if _, err := r.Propose(ent, &schemaFile); !errors.Is(err, ErrNotRemediable) {
+		t.Errorf("schema lens: %v", err)
+	}
+	// Referenced file missing from the entity.
+	gone := *rep.Failed()[0]
+	gone.File = "/etc/ssh/ghost_config"
+	if _, err := r.Propose(ent, &gone); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Glob config paths cannot host an insertion.
+	globRule := `
+config_name: NewKey
+config_path: ["ser*ion"]
+file_context: ["sshd_config"]
+preferred_value: ["x"]
+`
+	globRep := scan(t, ent, globRule, "/etc/ssh")
+	res := *globRep.Failed()[0]
+	res.File = "/etc/ssh/sshd_config"
+	if _, err := r.Propose(ent, &res); !errors.Is(err, ErrNotRemediable) {
+		t.Errorf("glob path: %v", err)
+	}
+}
+
+func TestProposeSchemaRuleNotRemediable(t *testing.T) {
+	rule := `
+config_schema_name: tmp_partition
+query_constraints: "dir = ?"
+query_constraints_value: ["/tmp"]
+non_preferred_value: [""]
+non_preferred_value_match: exact,all
+`
+	ent := entity.NewMem("h", entity.TypeHost)
+	ent.AddFile("/etc/fstab", []byte("/dev/sda1 / ext4 defaults 0 1\n"))
+	rep := scan(t, ent, rule, "/etc/fstab")
+	_, err := New(nil).Propose(ent, rep.Failed()[0])
+	if !errors.Is(err, ErrNotRemediable) {
+		t.Errorf("schema rule: %v", err)
+	}
+}

@@ -1,0 +1,57 @@
+package rules
+
+import (
+	"testing"
+
+	"configvalidator/internal/cvl"
+)
+
+func TestExtendedPackComposition(t *testing.T) {
+	if got := len(ExtendedTargets()); got != 4 {
+		t.Errorf("extended targets = %d", got)
+	}
+	m, err := ExtendedManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Entries) != 15 { // 11 base + 4 extended
+		t.Errorf("combined manifest entries = %d", len(m.Entries))
+	}
+	reader := ExtendedReader()
+	total := 0
+	for _, target := range ExtendedTargets() {
+		rs, err := cvl.ResolveRules(reader, target.RuleFile)
+		if err != nil {
+			t.Fatalf("%s: %v", target.Name, err)
+		}
+		total += len(rs)
+		for _, r := range rs {
+			if !r.HasTag("#extended") {
+				t.Errorf("%s/%s missing #extended tag", target.Name, r.Name)
+			}
+		}
+	}
+	if total != 12 {
+		t.Errorf("extended rules = %d, want 12", total)
+	}
+	// The base library is untouched: Table-1 still counts 135.
+	if n, err := TotalRules(); err != nil || n != 135 {
+		t.Errorf("base rules = %d, %v", n, err)
+	}
+}
+
+func TestExtendedPackLintClean(t *testing.T) {
+	files := ExtendedFiles()
+	for _, target := range ExtendedTargets() {
+		content := files[target.RuleFile]
+		if diags := cvl.Lint(target.RuleFile, []byte(content)); cvl.HasErrors(diags) {
+			t.Errorf("%s: %v", target.RuleFile, diags)
+		}
+	}
+}
+
+func TestExtendedReaderMissing(t *testing.T) {
+	if _, err := ExtendedReader()("ghost.yaml"); err == nil {
+		t.Error("missing file read")
+	}
+}

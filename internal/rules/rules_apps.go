@@ -1,0 +1,469 @@
+package rules
+
+// Application rules: nginx (11), apache (11), mysql (11), hadoop (9) — 42
+// rules, conforming to OWASP / HIPAA / PCI guidance per Table 1.
+
+// nginxRules validate nginx web-server configuration.
+const nginxRules = `
+config_name: ssl_protocols
+config_path: ["server", "http/server", "http"]
+config_description: "Enables the specified SSL protocols."
+preferred_value: [ "TLSv1.2", "TLSv1.3" ]
+preferred_value_match: substr,any
+non_preferred_value: [ "SSLv2", "SSLv3", "TLSv1 ", "TLSv1.1" ]
+non_preferred_value_match: substr,any
+not_present_description: "ssl_protocols is not present."
+not_matched_preferred_value_description: "Non-recommended TLS version enabled."
+matched_description: "ssl_protocols is set to TLS v1.2/1.3"
+tags: ["#owasp", "#security", "#ssl"]
+require_other_configs: [ listen, ssl_certificate, ssl_certificate_key ]
+file_context: ["nginx.conf", "sites-enabled"]
+---
+config_name: server_tokens
+config_path: ["http", "server", "http/server"]
+config_description: "Hide the nginx version in responses and error pages."
+preferred_value: ["off"]
+preferred_value_match: exact,any
+not_present_description: "server_tokens is not set; the version is disclosed."
+not_matched_preferred_value_description: "server_tokens is enabled; the version is disclosed."
+matched_description: "Server version disclosure is off."
+tags: ["#owasp", "#security"]
+file_context: ["nginx.conf", "sites-enabled"]
+---
+config_name: ssl_prefer_server_ciphers
+config_path: ["server", "http/server", "http"]
+config_description: "Prefer server cipher order during TLS negotiation."
+preferred_value: ["on"]
+preferred_value_match: exact,any
+not_present_description: "ssl_prefer_server_ciphers is not set."
+not_matched_preferred_value_description: "Client cipher order is preferred."
+matched_description: "Server cipher order is preferred."
+tags: ["#owasp", "#ssl"]
+require_other_configs: [ ssl_certificate ]
+file_context: ["nginx.conf", "sites-enabled"]
+---
+config_name: ssl_ciphers
+config_path: ["server", "http/server", "http"]
+config_description: "Exclude weak ciphers from the TLS cipher list."
+non_preferred_value: ["RC4", "MD5", "DES", "EXPORT"]
+non_preferred_value_match: substr,any
+not_present_description: "ssl_ciphers is not set; built-in defaults apply."
+not_matched_preferred_value_description: "Weak ciphers are enabled."
+matched_description: "No weak ciphers are configured."
+tags: ["#owasp", "#ssl"]
+require_other_configs: [ ssl_certificate ]
+file_context: ["nginx.conf", "sites-enabled"]
+absent_pass: true
+---
+config_name: autoindex
+config_path: ["http", "server", "http/server", "http/server/location"]
+config_description: "Disable automatic directory listings."
+non_preferred_value: ["on"]
+non_preferred_value_match: exact,any
+not_present_description: "autoindex is not set (off by default)."
+not_matched_preferred_value_description: "Directory listings are enabled."
+matched_description: "Directory listings are disabled."
+tags: ["#owasp", "#security"]
+file_context: ["nginx.conf", "sites-enabled"]
+absent_pass: true
+---
+config_name: user
+config_path: [""]
+config_description: "Run worker processes as an unprivileged user."
+non_preferred_value: ["root"]
+non_preferred_value_match: exact,any
+not_present_description: "user is not set; workers may run as the master's user."
+not_matched_preferred_value_description: "Workers run as root."
+matched_description: "Workers run as an unprivileged user."
+tags: ["#owasp", "#security"]
+file_context: ["nginx.conf"]
+---
+config_name: client_max_body_size
+config_path: ["http", "server", "http/server"]
+config_description: "Bound request body size to mitigate abuse."
+not_present_description: "client_max_body_size is not set; the 1m default applies silently."
+matched_description: "Request body size is bounded."
+tags: ["#owasp", "#dos"]
+file_context: ["nginx.conf", "sites-enabled"]
+---
+config_name: keepalive_timeout
+config_path: ["http", "server", "http/server"]
+config_description: "Bound keep-alive timeout to limit idle connections."
+non_preferred_value: ["3600", "0"]
+non_preferred_value_match: exact,any
+not_present_description: "keepalive_timeout is not set."
+not_matched_preferred_value_description: "keepalive_timeout is unbounded or excessive."
+matched_description: "keepalive_timeout is bounded."
+tags: ["#owasp", "#dos"]
+file_context: ["nginx.conf", "sites-enabled"]
+absent_pass: true
+---
+config_name: add_header
+config_path: ["http", "server", "http/server"]
+config_description: "Send the X-Frame-Options header on at least one level."
+preferred_value: ["X-Frame-Options"]
+preferred_value_match: substr,any
+occurrence: any
+not_present_description: "No security headers are configured."
+not_matched_preferred_value_description: "X-Frame-Options is not sent."
+matched_description: "X-Frame-Options is configured."
+tags: ["#owasp", "#headers"]
+file_context: ["nginx.conf", "sites-enabled"]
+---
+config_name: error_log
+config_path: ["", "http"]
+config_description: "Configure an error log."
+not_present_description: "No error log is configured."
+matched_description: "An error log is configured."
+tags: ["#owasp", "#logging"]
+file_context: ["nginx.conf"]
+---
+path_name: /etc/nginx/nginx.conf
+path_description: "nginx.conf must be owned by root and not world-writable."
+ownership: "0:0"
+max_permission: 644
+tags: ["#owasp", "#security"]
+not_matched_preferred_value_description: "nginx.conf ownership or permissions are too open."
+matched_description: "nginx.conf metadata is correct."
+`
+
+// apacheRules validate Apache httpd configuration.
+const apacheRules = `
+config_name: ServerTokens
+config_path: [""]
+config_description: "Limit server version disclosure in the Server header."
+preferred_value: ["Prod", "ProductOnly"]
+preferred_value_match: exact,any
+not_present_description: "ServerTokens is not set; full version details are disclosed."
+not_matched_preferred_value_description: "ServerTokens discloses version details."
+matched_description: "Server header discloses the product only."
+tags: ["#owasp", "#security"]
+file_context: ["apache2.conf", "httpd.conf", "security.conf"]
+---
+config_name: ServerSignature
+config_path: [""]
+config_description: "Disable the server signature on generated pages."
+preferred_value: ["Off"]
+preferred_value_match: exact,any
+case_insensitive: true
+not_present_description: "ServerSignature is not set."
+not_matched_preferred_value_description: "Server signature is enabled."
+matched_description: "Server signature is disabled."
+tags: ["#owasp", "#security"]
+file_context: ["apache2.conf", "httpd.conf", "security.conf"]
+---
+config_name: TraceEnable
+config_path: [""]
+config_description: "Disable the TRACE method."
+preferred_value: ["Off"]
+preferred_value_match: exact,any
+case_insensitive: true
+not_present_description: "TraceEnable is not set; TRACE is allowed by default."
+not_matched_preferred_value_description: "TRACE is enabled."
+matched_description: "TRACE is disabled."
+tags: ["#owasp", "#security"]
+file_context: ["apache2.conf", "httpd.conf", "security.conf"]
+---
+config_name: Timeout
+config_path: [""]
+config_description: "Bound the request timeout to at most 300 seconds."
+preferred_value: ["^([1-9]|[1-9][0-9]|[1-2][0-9][0-9]|300)$"]
+preferred_value_match: regex,any
+not_present_description: "Timeout is not set."
+not_matched_preferred_value_description: "Timeout exceeds 300 seconds."
+matched_description: "Timeout is bounded."
+tags: ["#owasp", "#dos"]
+file_context: ["apache2.conf", "httpd.conf"]
+---
+config_name: KeepAliveTimeout
+config_path: [""]
+config_description: "Bound keep-alive timeout to at most 15 seconds."
+preferred_value: ["^([1-9]|1[0-5])$"]
+preferred_value_match: regex,any
+not_present_description: "KeepAliveTimeout is not set."
+not_matched_preferred_value_description: "KeepAliveTimeout exceeds 15 seconds."
+matched_description: "KeepAliveTimeout is bounded."
+tags: ["#owasp", "#dos"]
+file_context: ["apache2.conf", "httpd.conf"]
+absent_pass: true
+---
+config_name: FileETag
+config_path: [""]
+config_description: "Avoid inode-revealing ETags."
+preferred_value: ["None"]
+preferred_value_match: exact,any
+not_present_description: "FileETag is not set; defaults may expose inode data."
+not_matched_preferred_value_description: "FileETag exposes filesystem details."
+matched_description: "FileETag is None."
+tags: ["#owasp", "#security"]
+file_context: ["apache2.conf", "httpd.conf", "security.conf"]
+absent_pass: true
+---
+config_name: Options
+config_path: ["Directory"]
+config_description: "Disable directory indexes in Directory sections."
+non_preferred_value: ["Indexes"]
+non_preferred_value_match: substr,any
+not_present_description: "No Options directives present."
+not_matched_preferred_value_description: "Directory indexes are enabled."
+matched_description: "Directory indexes are disabled."
+tags: ["#owasp", "#security"]
+file_context: ["apache2.conf", "httpd.conf"]
+absent_pass: true
+---
+config_name: AllowOverride
+config_path: ["Directory"]
+config_description: "Disallow .htaccess overrides."
+preferred_value: ["None"]
+preferred_value_match: exact,any
+occurrence: all
+not_present_description: "AllowOverride is not set."
+not_matched_preferred_value_description: ".htaccess overrides are permitted."
+matched_description: ".htaccess overrides are disabled."
+tags: ["#owasp", "#security"]
+file_context: ["apache2.conf", "httpd.conf"]
+absent_pass: true
+---
+config_name: LimitRequestBody
+config_path: ["", "Directory"]
+config_description: "Bound the request body size."
+non_preferred_value: ["0"]
+non_preferred_value_match: exact,any
+not_present_description: "LimitRequestBody is not set (unlimited)."
+not_matched_preferred_value_description: "Request body size is unlimited."
+matched_description: "Request body size is bounded."
+tags: ["#owasp", "#dos"]
+file_context: ["apache2.conf", "httpd.conf"]
+---
+config_name: SSLProtocol
+config_path: ["", "VirtualHost"]
+config_description: "Explicitly disable SSLv2 and SSLv3."
+preferred_value: ["-SSLv2", "-SSLv3"]
+preferred_value_match: substr,all
+not_present_description: "SSLProtocol is not set."
+not_matched_preferred_value_description: "SSLv2/SSLv3 are not explicitly disabled."
+matched_description: "Legacy SSL protocols are excluded."
+tags: ["#owasp", "#ssl"]
+file_context: ["apache2.conf", "httpd.conf", "ssl.conf"]
+absent_pass: true
+---
+path_name: /etc/apache2/apache2.conf
+path_description: "apache2.conf must be owned by root and not world-writable."
+ownership: "0:0"
+max_permission: 644
+tags: ["#owasp", "#security"]
+not_matched_preferred_value_description: "apache2.conf ownership or permissions are too open."
+matched_description: "apache2.conf metadata is correct."
+`
+
+// mysqlRules validate MySQL server configuration, file metadata (Listing
+// 4), and runtime SSL state (a script rule).
+const mysqlRules = `
+config_name: bind-address
+config_path: ["mysqld"]
+config_description: "Bind MySQL to localhost unless remote access is required."
+preferred_value: ["127.0.0.1", "::1"]
+preferred_value_match: exact,any
+not_present_description: "bind-address is not set; MySQL listens on all interfaces."
+not_matched_preferred_value_description: "MySQL listens on a non-loopback address."
+matched_description: "MySQL is bound to localhost."
+tags: ["#owasp", "#security"]
+file_context: ["my.cnf", "mysqld.cnf"]
+---
+config_name: local-infile
+config_path: ["mysqld"]
+config_description: "Disable LOAD DATA LOCAL INFILE."
+preferred_value: ["0", "OFF"]
+preferred_value_match: exact,any
+not_present_description: "local-infile is not set; local infile is enabled by default."
+not_matched_preferred_value_description: "LOAD DATA LOCAL INFILE is enabled."
+matched_description: "LOAD DATA LOCAL INFILE is disabled."
+tags: ["#owasp", "#security"]
+file_context: ["my.cnf", "mysqld.cnf"]
+---
+config_name: symbolic-links
+config_path: ["mysqld"]
+config_description: "Disable symbolic links to prevent data-directory escapes."
+preferred_value: ["0"]
+preferred_value_match: exact,any
+not_present_description: "symbolic-links is not set."
+not_matched_preferred_value_description: "Symbolic links are enabled."
+matched_description: "Symbolic links are disabled."
+tags: ["#owasp", "#security"]
+file_context: ["my.cnf", "mysqld.cnf"]
+---
+config_name: ssl-ca
+config_path: ["mysqld"]
+config_description: "Configure a CA certificate for TLS connections."
+not_present_description: "ssl-ca is not configured; TLS is unavailable."
+matched_description: "ssl-ca is configured."
+tags: ["#owasp", "#ssl"]
+file_context: ["my.cnf", "mysqld.cnf"]
+---
+config_name: ssl-cert
+config_path: ["mysqld"]
+config_description: "Configure a server certificate for TLS connections."
+not_present_description: "ssl-cert is not configured."
+matched_description: "ssl-cert is configured."
+tags: ["#owasp", "#ssl"]
+file_context: ["my.cnf", "mysqld.cnf"]
+---
+config_name: old_passwords
+config_path: ["mysqld"]
+config_description: "Do not use legacy password hashing."
+non_preferred_value: ["1", "ON"]
+non_preferred_value_match: exact,any
+not_present_description: "old_passwords is not set (good)."
+not_matched_preferred_value_description: "Legacy password hashing is enabled."
+matched_description: "Legacy password hashing is disabled."
+tags: ["#owasp", "#security"]
+file_context: ["my.cnf", "mysqld.cnf"]
+absent_pass: true
+---
+config_name: secure-file-priv
+config_path: ["mysqld"]
+config_description: "Restrict file import/export to a dedicated directory."
+not_present_description: "secure-file-priv is not set; file operations are unrestricted."
+matched_description: "secure-file-priv is configured."
+tags: ["#owasp", "#security"]
+file_context: ["my.cnf", "mysqld.cnf"]
+---
+config_name: skip-show-database
+config_path: ["mysqld"]
+config_description: "Hide the database list from unprivileged users."
+not_present_description: "skip-show-database is not set."
+matched_description: "skip-show-database is enabled."
+tags: ["#owasp", "#security"]
+file_context: ["my.cnf", "mysqld.cnf"]
+---
+config_name: allow-suspicious-udfs
+config_path: ["mysqld"]
+config_description: "Do not allow suspicious user-defined functions."
+non_preferred_value: ["1", "ON", "true"]
+non_preferred_value_match: exact,any
+not_present_description: "allow-suspicious-udfs is not set (good)."
+not_matched_preferred_value_description: "Suspicious UDFs are allowed."
+matched_description: "Suspicious UDFs are not allowed."
+tags: ["#owasp", "#security"]
+file_context: ["my.cnf", "mysqld.cnf"]
+absent_pass: true
+---
+path_name: /etc/mysql/my.cnf
+path_description: "Permissions and ownership for mysql config file"
+ownership: "0:0"
+permission: 644
+tags: ["#owasp"]
+not_matched_preferred_value_description: "my.cnf ownership or permissions are wrong."
+matched_description: "my.cnf metadata is correct."
+---
+script_name: mysql_ssl_enabled
+script_description: "Verify at runtime that the server reports SSL support."
+script_feature: mysql.ssl
+preferred_value: ["have_ssl YES"]
+preferred_value_match: substr,all
+not_matched_preferred_value_description: "MySQL runtime reports SSL disabled."
+matched_description: "MySQL runtime reports SSL enabled."
+tags: ["#owasp", "#ssl"]
+`
+
+// hadoopRules validate Hadoop *-site.xml security settings.
+const hadoopRules = `
+config_name: hadoop.security.authentication
+config_path: [""]
+config_description: "Require Kerberos authentication."
+preferred_value: ["kerberos"]
+preferred_value_match: exact,any
+not_present_description: "hadoop.security.authentication is not set (simple auth)."
+not_matched_preferred_value_description: "Cluster does not require Kerberos."
+matched_description: "Kerberos authentication is required."
+tags: ["#hipaa", "#pci", "#security"]
+file_context: ["core-site.xml"]
+---
+config_name: hadoop.security.authorization
+config_path: [""]
+config_description: "Enable service-level authorization."
+preferred_value: ["true"]
+preferred_value_match: exact,any
+not_present_description: "hadoop.security.authorization is not set."
+not_matched_preferred_value_description: "Service-level authorization is disabled."
+matched_description: "Service-level authorization is enabled."
+tags: ["#hipaa", "#pci", "#security"]
+file_context: ["core-site.xml"]
+---
+config_name: hadoop.rpc.protection
+config_path: [""]
+config_description: "Protect RPC traffic with privacy (encryption)."
+preferred_value: ["privacy"]
+preferred_value_match: exact,any
+not_present_description: "hadoop.rpc.protection is not set."
+not_matched_preferred_value_description: "RPC traffic is not encrypted."
+matched_description: "RPC traffic is encrypted."
+tags: ["#hipaa", "#pci", "#ssl"]
+file_context: ["core-site.xml"]
+---
+config_name: dfs.permissions.enabled
+config_path: [""]
+config_description: "Enable HDFS permission checking."
+preferred_value: ["true"]
+preferred_value_match: exact,any
+not_present_description: "dfs.permissions.enabled is not set."
+not_matched_preferred_value_description: "HDFS permission checking is disabled."
+matched_description: "HDFS permission checking is enabled."
+tags: ["#hipaa", "#pci", "#security"]
+file_context: ["hdfs-site.xml"]
+---
+config_name: dfs.encrypt.data.transfer
+config_path: [""]
+config_description: "Encrypt HDFS data transfer."
+preferred_value: ["true"]
+preferred_value_match: exact,any
+not_present_description: "dfs.encrypt.data.transfer is not set."
+not_matched_preferred_value_description: "HDFS data transfer is not encrypted."
+matched_description: "HDFS data transfer is encrypted."
+tags: ["#hipaa", "#pci", "#ssl"]
+file_context: ["hdfs-site.xml"]
+---
+config_name: dfs.http.policy
+config_path: [""]
+config_description: "Serve web UIs over HTTPS only."
+preferred_value: ["HTTPS_ONLY"]
+preferred_value_match: exact,any
+not_present_description: "dfs.http.policy is not set (HTTP)."
+not_matched_preferred_value_description: "Web UIs are served over HTTP."
+matched_description: "Web UIs are HTTPS-only."
+tags: ["#hipaa", "#pci", "#ssl"]
+file_context: ["hdfs-site.xml"]
+---
+config_name: dfs.namenode.acls.enabled
+config_path: [""]
+config_description: "Enable HDFS ACLs."
+preferred_value: ["true"]
+preferred_value_match: exact,any
+not_present_description: "dfs.namenode.acls.enabled is not set."
+not_matched_preferred_value_description: "HDFS ACLs are disabled."
+matched_description: "HDFS ACLs are enabled."
+tags: ["#hipaa", "#security"]
+file_context: ["hdfs-site.xml"]
+---
+config_name: dfs.datanode.data.dir.perm
+config_path: [""]
+config_description: "Restrict datanode data directories to 700."
+preferred_value: ["700"]
+preferred_value_match: exact,any
+not_present_description: "dfs.datanode.data.dir.perm is not set."
+not_matched_preferred_value_description: "Datanode data directories are too open."
+matched_description: "Datanode data directories are restricted."
+tags: ["#hipaa", "#pci", "#security"]
+file_context: ["hdfs-site.xml"]
+---
+config_name: yarn.acl.enable
+config_path: [""]
+config_description: "Enable YARN ACLs."
+preferred_value: ["true"]
+preferred_value_match: exact,any
+not_present_description: "yarn.acl.enable is not set."
+not_matched_preferred_value_description: "YARN ACLs are disabled."
+matched_description: "YARN ACLs are enabled."
+tags: ["#hipaa", "#security"]
+file_context: ["yarn-site.xml"]
+`

@@ -1,0 +1,239 @@
+package rules
+
+// Cloud rules: docker (13, CIS Docker benchmark — 41% of the targeted
+// checklist) and openstack (8, OSSG) — 21 rules.
+
+// dockerRules validate Docker images (docker.image_config feature),
+// running containers (docker.inspect feature), and the daemon
+// configuration (/etc/docker/daemon.json).
+const dockerRules = `
+script_name: image_user_not_root
+script_description: "Containers must not default to the root user (CIS Docker 4.1)."
+script_feature: docker.image_config
+non_preferred_value: ["User root"]
+non_preferred_value_match: substr,any
+not_matched_preferred_value_description: "Image runs as root by default."
+matched_description: "Image runs as a non-root user."
+tags: ["#cis", "#cisdocker_4.1"]
+applies_to: ["image", "container"]
+---
+script_name: image_healthcheck_present
+script_description: "Images should declare a HEALTHCHECK (CIS Docker 4.6)."
+script_feature: docker.image_config
+non_preferred_value: ["Healthcheck none"]
+non_preferred_value_match: substr,any
+not_matched_preferred_value_description: "Image declares no HEALTHCHECK."
+matched_description: "Image declares a HEALTHCHECK."
+tags: ["#cis", "#cisdocker_4.6"]
+applies_to: ["image", "container"]
+---
+script_name: image_no_ssh_port
+script_description: "Images must not expose the SSH port (CIS Docker 4.x)."
+script_feature: docker.image_config
+non_preferred_value: ["ExposedPort 22/tcp"]
+non_preferred_value_match: substr,any
+not_matched_preferred_value_description: "Image exposes port 22 (sshd in a container)."
+matched_description: "Image does not expose SSH."
+tags: ["#cis", "#cisdocker_5.6"]
+applies_to: ["image", "container"]
+---
+script_name: image_no_secrets_in_env
+script_description: "Images must not carry secrets in environment variables (CIS Docker 4.10)."
+script_feature: docker.image_config
+non_preferred_value: ["PASSWORD=", "SECRET=", "API_KEY=", "TOKEN="]
+non_preferred_value_match: substr,any
+not_matched_preferred_value_description: "Image environment contains a secret-like variable."
+matched_description: "No secret-like environment variables."
+tags: ["#cis", "#cisdocker_4.10"]
+applies_to: ["image", "container"]
+---
+script_name: container_not_privileged
+script_description: "Containers must not run privileged (CIS Docker 5.4)."
+script_feature: docker.inspect
+non_preferred_value: ["Privileged true"]
+non_preferred_value_match: substr,any
+not_matched_preferred_value_description: "Container runs with --privileged."
+matched_description: "Container is not privileged."
+tags: ["#cis", "#cisdocker_5.4"]
+applies_to: ["container"]
+---
+script_name: container_no_host_network
+script_description: "Containers must not share the host network namespace (CIS Docker 5.9)."
+script_feature: docker.inspect
+non_preferred_value: ["HostNetwork true"]
+non_preferred_value_match: substr,any
+not_matched_preferred_value_description: "Container uses --net=host."
+matched_description: "Container has an isolated network namespace."
+tags: ["#cis", "#cisdocker_5.9"]
+applies_to: ["container"]
+---
+script_name: container_no_docker_socket
+script_description: "The Docker socket must not be mounted into containers (CIS Docker 5.31)."
+script_feature: docker.inspect
+non_preferred_value: ["Mount /var/run/docker.sock"]
+non_preferred_value_match: substr,any
+not_matched_preferred_value_description: "Container mounts the Docker daemon socket."
+matched_description: "Docker socket is not mounted."
+tags: ["#cis", "#cisdocker_5.31"]
+applies_to: ["container"]
+---
+config_name: icc
+config_path: [""]
+config_description: "Restrict inter-container communication (CIS Docker 2.1)."
+preferred_value: ["false"]
+preferred_value_match: exact,any
+not_present_description: "icc is not set; inter-container traffic is unrestricted."
+not_matched_preferred_value_description: "Inter-container communication is unrestricted."
+matched_description: "Inter-container communication is restricted."
+tags: ["#cis", "#cisdocker_2.1"]
+file_context: ["daemon.json"]
+---
+config_name: userland-proxy
+config_path: [""]
+config_description: "Disable the userland proxy (CIS Docker 2.15)."
+preferred_value: ["false"]
+preferred_value_match: exact,any
+not_present_description: "userland-proxy is not set."
+not_matched_preferred_value_description: "The userland proxy is enabled."
+matched_description: "The userland proxy is disabled."
+tags: ["#cis", "#cisdocker_2.15"]
+file_context: ["daemon.json"]
+---
+config_name: live-restore
+config_path: [""]
+config_description: "Enable live restore so containers survive daemon restarts (CIS Docker 2.14)."
+preferred_value: ["true"]
+preferred_value_match: exact,any
+not_present_description: "live-restore is not set."
+not_matched_preferred_value_description: "Live restore is disabled."
+matched_description: "Live restore is enabled."
+tags: ["#cis", "#cisdocker_2.14"]
+file_context: ["daemon.json"]
+---
+config_name: tlsverify
+config_path: [""]
+config_description: "Require TLS verification when the daemon listens on TCP (CIS Docker 2.6)."
+preferred_value: ["true"]
+preferred_value_match: exact,any
+not_present_description: "tlsverify is not set; a TCP listener would be unauthenticated."
+not_matched_preferred_value_description: "Daemon TCP listener does not verify TLS clients."
+matched_description: "Daemon TLS verification is on."
+tags: ["#cis", "#cisdocker_2.6"]
+file_context: ["daemon.json"]
+---
+config_name: log-driver
+config_path: [""]
+config_description: "Configure centralized logging (CIS Docker 2.12)."
+not_present_description: "log-driver is not set; logs stay on the host."
+matched_description: "A log driver is configured."
+tags: ["#cis", "#cisdocker_2.12"]
+file_context: ["daemon.json"]
+---
+config_name: userns-remap
+config_path: [""]
+config_description: "Enable user-namespace remapping (CIS Docker 2.8)."
+not_present_description: "userns-remap is not set; container root is host root."
+matched_description: "User-namespace remapping is enabled."
+tags: ["#cis", "#cisdocker_2.8"]
+file_context: ["daemon.json"]
+`
+
+// openstackRules validate OpenStack control-plane state crawled from the
+// cloud API into /openstack/*.json (OSSG guidance).
+const openstackRules = `
+config_name: tls_enabled
+config_path: ["identity"]
+config_description: "Identity API endpoints must require TLS."
+preferred_value: ["true"]
+preferred_value_match: exact,any
+not_present_description: "tls_enabled is not reported by the identity service."
+not_matched_preferred_value_description: "Identity endpoints accept plaintext connections."
+matched_description: "Identity endpoints require TLS."
+tags: ["#ossg", "#ssl"]
+file_context: ["identity.json"]
+---
+config_name: admin_token_enabled
+config_path: ["identity"]
+config_description: "The bootstrap admin_token must be disabled."
+preferred_value: ["false"]
+preferred_value_match: exact,any
+not_present_description: "admin_token_enabled is not reported."
+not_matched_preferred_value_description: "The insecure bootstrap admin token is still enabled."
+matched_description: "The bootstrap admin token is disabled."
+tags: ["#ossg", "#security"]
+file_context: ["identity.json"]
+---
+config_name: token_expiration_seconds
+config_path: ["identity"]
+config_description: "Auth tokens must expire within 4 hours."
+preferred_value: ["^([1-9][0-9]{0,3}|1[0-3][0-9]{3}|14[0-3][0-9]{2}|14400)$"]
+preferred_value_match: regex,any
+not_present_description: "token_expiration_seconds is not reported."
+not_matched_preferred_value_description: "Token lifetime exceeds 4 hours."
+matched_description: "Token lifetime is bounded."
+tags: ["#ossg", "#security"]
+file_context: ["identity.json"]
+---
+config_name: password_min_length
+config_path: ["identity"]
+config_description: "Password policy must require at least 12 characters."
+preferred_value: ["^(1[2-9]|[2-9][0-9]|[1-9][0-9]{2,})$"]
+preferred_value_match: regex,any
+not_present_description: "password_min_length is not reported."
+not_matched_preferred_value_description: "Password minimum length is below 12."
+matched_description: "Password minimum length is at least 12."
+tags: ["#ossg", "#security"]
+file_context: ["identity.json"]
+---
+config_name: remote_ip_prefix
+config_path: ["security_groups/rules"]
+config_description: "No security group rule may be open to the world."
+non_preferred_value: ["0.0.0.0/0", "::/0"]
+non_preferred_value_match: exact,any
+occurrence: all
+not_present_description: "No security group rules found."
+not_matched_preferred_value_description: "A security group rule is open to 0.0.0.0/0."
+matched_description: "No world-open security group rules."
+tags: ["#ossg", "#network"]
+file_context: ["security_groups.json"]
+absent_pass: true
+---
+config_name: protocol
+config_path: ["security_groups/rules"]
+config_description: "Security group rules must name a concrete protocol."
+non_preferred_value: ["any", ""]
+non_preferred_value_match: exact,any
+occurrence: all
+not_present_description: "No security group rules found."
+not_matched_preferred_value_description: "A security group rule allows any protocol."
+matched_description: "All rules name a concrete protocol."
+tags: ["#ossg", "#network"]
+file_context: ["security_groups.json"]
+absent_pass: true
+---
+config_name: port_range_min
+config_path: ["security_groups/rules"]
+config_description: "Security group rules must not open all ports."
+non_preferred_value: ["0"]
+non_preferred_value_match: exact,any
+occurrence: all
+not_present_description: "No security group rules found."
+not_matched_preferred_value_description: "A security group rule opens the full port range."
+matched_description: "No all-port rules."
+tags: ["#ossg", "#network"]
+file_context: ["security_groups.json"]
+absent_pass: true
+---
+config_name: mfa_enabled
+config_path: ["users"]
+config_description: "All identity users must have MFA enabled."
+preferred_value: ["true"]
+preferred_value_match: exact,any
+occurrence: all
+not_present_description: "No users reported."
+not_matched_preferred_value_description: "A user has MFA disabled."
+matched_description: "All users have MFA enabled."
+tags: ["#ossg", "#security"]
+file_context: ["users.json"]
+absent_pass: true
+`

@@ -1,0 +1,190 @@
+package rules
+
+import (
+	"fmt"
+
+	"configvalidator/internal/cvl"
+)
+
+// Extended rule pack: rules added beyond the paper's Table-1 snapshot,
+// reflecting §5's note that "the rule set is constantly being expanded".
+// These cover the account database (passwd/group), resource limits,
+// cron, and name resolution — 12 rules across 4 additional targets. They
+// are delivered separately from the 135-rule Table-1 library so the
+// coverage reproduction stays exact.
+
+// passwdRules validate the account database (CIS 9.2.x / 13.x).
+const passwdRules = `
+config_schema_name: only_root_uid0
+tags: ["#cis", "#cisubuntu14.04_9.2.5", "#extended"]
+config_schema_description: "Only root may have UID 0."
+query_constraints: "uid = ?"
+query_constraints_value: ["0"]
+query_columns: ["name"]
+preferred_value: ["root"]
+preferred_value_match: exact,any
+matched_description: "root is the only UID-0 account."
+not_matched_preferred_value_description: "A non-root account has UID 0."
+---
+config_schema_name: no_empty_password_fields
+tags: ["#cis", "#cisubuntu14.04_9.2.1", "#extended"]
+config_schema_description: "Every account must have a password field set."
+query_constraints: "password = ?"
+query_constraints_value: [""]
+expect_rows: "0"
+matched_description: "No empty password fields."
+not_matched_preferred_value_description: "An account has an empty password field."
+---
+config_schema_name: no_legacy_plus_entries
+tags: ["#cis", "#cisubuntu14.04_13.2", "#extended"]
+config_schema_description: "No legacy NIS '+' entries."
+query_constraints: "name LIKE ?"
+query_constraints_value: ["+%"]
+expect_rows: "0"
+matched_description: "No legacy '+' entries."
+not_matched_preferred_value_description: "A legacy NIS '+' entry is present."
+---
+config_schema_name: system_accounts_nologin
+tags: ["#cis", "#extended"]
+config_schema_description: "The daemon account must not have a login shell."
+query_constraints: "name = ?"
+query_constraints_value: ["daemon"]
+query_columns: ["shell"]
+non_preferred_value: ["/bin/bash", "/bin/sh", "/bin/zsh"]
+non_preferred_value_match: exact,any
+matched_description: "daemon has no login shell."
+not_matched_preferred_value_description: "daemon has a login shell."
+`
+
+// groupRules validate /etc/group.
+const groupRules = `
+config_schema_name: root_group_gid0
+tags: ["#cis", "#extended"]
+config_schema_description: "The root group must have GID 0."
+query_constraints: "name = ?"
+query_constraints_value: ["root"]
+query_columns: ["gid"]
+preferred_value: ["0"]
+preferred_value_match: exact,any
+matched_description: "root group has GID 0."
+not_matched_preferred_value_description: "root group GID is not 0."
+---
+config_schema_name: shadow_group_empty
+tags: ["#cis", "#cisubuntu14.04_9.2.20", "#extended"]
+config_schema_description: "The shadow group must have no members."
+query_constraints: "name = ?"
+query_constraints_value: ["shadow"]
+query_columns: ["members"]
+preferred_value: [""]
+preferred_value_match: exact,any
+matched_description: "shadow group is empty."
+not_matched_preferred_value_description: "The shadow group has members."
+`
+
+// limitsRules validate /etc/security/limits.conf.
+const limitsRules = `
+config_schema_name: core_dumps_restricted
+tags: ["#cis", "#cisubuntu14.04_4.1", "#extended"]
+config_schema_description: "Restrict core dumps with a hard limit of 0."
+query_constraints: "type = ? AND item = ?"
+query_constraints_value: ["hard", "core"]
+query_columns: ["value"]
+preferred_value: ["0"]
+preferred_value_match: exact,any
+matched_description: "Core dumps are restricted."
+not_matched_preferred_value_description: "Core dumps are not restricted to 0."
+---
+config_schema_name: nofile_bounded
+tags: ["#extended", "#dos"]
+config_schema_description: "An explicit open-file limit must be configured."
+query_constraints: "item = ?"
+query_constraints_value: ["nofile"]
+expect_rows: ">=1"
+matched_description: "An open-file limit is configured."
+not_matched_preferred_value_description: "No open-file limit is configured."
+`
+
+// crontabRules validate the system crontab.
+const crontabRules = `
+config_schema_name: cron_jobs_run_as_named_users
+tags: ["#cis", "#extended"]
+config_schema_description: "Every cron job must name a user."
+query_constraints: "kind = ? AND user = ?"
+query_constraints_value: ["job", ""]
+expect_rows: "0"
+matched_description: "All cron jobs name a user."
+not_matched_preferred_value_description: "A cron job lacks a user field."
+---
+config_schema_name: cron_path_set
+tags: ["#cis", "#extended"]
+config_schema_description: "The crontab must pin PATH explicitly."
+query_constraints: "kind = ? AND command LIKE ?"
+query_constraints_value: ["env", "PATH=%"]
+expect_rows: ">=1"
+matched_description: "Crontab pins PATH."
+not_matched_preferred_value_description: "Crontab does not pin PATH."
+---
+path_name: /etc/crontab
+path_description: "The system crontab must be root-owned and not world-readable."
+ownership: "0:0"
+max_permission: 600
+tags: ["#cis", "#cisubuntu14.04_9.1.2", "#extended"]
+matched_description: "/etc/crontab metadata is correct."
+not_matched_preferred_value_description: "/etc/crontab ownership or permissions are too open."
+---
+config_schema_name: resolv_nameserver_present
+tags: ["#extended"]
+config_schema_description: "At least one nameserver must be configured."
+query_constraints: "directive = ?"
+query_constraints_value: ["nameserver"]
+expect_rows: ">=1"
+matched_description: "A nameserver is configured."
+not_matched_preferred_value_description: "No nameserver is configured."
+`
+
+// ExtendedTargets returns the post-paper target additions.
+func ExtendedTargets() []Target {
+	return []Target{
+		{Name: "passwd", Category: "system", Standard: "CIS", RuleFile: "component_configs/passwd.yaml", SearchPaths: []string{"/etc/passwd"}},
+		{Name: "group", Category: "system", Standard: "CIS", RuleFile: "component_configs/group.yaml", SearchPaths: []string{"/etc/group"}},
+		{Name: "limits", Category: "system", Standard: "CIS", RuleFile: "component_configs/limits.yaml", SearchPaths: []string{"/etc/security"}},
+		{Name: "cron", Category: "system", Standard: "CIS", RuleFile: "component_configs/cron.yaml", SearchPaths: []string{"/etc/crontab", "/etc/cron.d", "/etc/resolv.conf"}},
+	}
+}
+
+// ExtendedFiles returns the extended pack's rule files plus a manifest
+// covering base and extended targets together.
+func ExtendedFiles() map[string]string {
+	out := Files()
+	out["component_configs/passwd.yaml"] = passwdRules
+	out["component_configs/group.yaml"] = groupRules
+	out["component_configs/limits.yaml"] = limitsRules
+	out["component_configs/cron.yaml"] = crontabRules
+	manifest := out["manifest.yaml"]
+	for _, t := range ExtendedTargets() {
+		manifest += t.Name + ":\n  enabled: True\n  config_search_paths:\n"
+		for _, p := range t.SearchPaths {
+			manifest += "    - " + p + "\n"
+		}
+		manifest += "  cvl_file: " + t.RuleFile + "\n"
+	}
+	out["manifest.yaml"] = manifest
+	return out
+}
+
+// ExtendedReader reads from the combined base+extended library.
+func ExtendedReader() cvl.FileReader {
+	files := ExtendedFiles()
+	return func(path string) ([]byte, error) {
+		content, ok := files[path]
+		if !ok {
+			return nil, fmt.Errorf("rules: no embedded file %q", path)
+		}
+		return []byte(content), nil
+	}
+}
+
+// ExtendedManifest parses the combined manifest (15 targets).
+func ExtendedManifest() (*cvl.Manifest, error) {
+	return cvl.ParseManifest("manifest.yaml", []byte(ExtendedFiles()["manifest.yaml"]))
+}

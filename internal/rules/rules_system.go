@@ -1,0 +1,768 @@
+package rules
+
+// System-service rules (CIS Ubuntu benchmark style): sshd (18), sysctl
+// (18), audit (20), fstab (8), modprobe (8) — 72 rules.
+
+// sshdRules validate /etc/ssh/sshd_config (CIS 5.2.x).
+const sshdRules = `
+config_name: PermitRootLogin
+tags: ["#cis", "#security", "#cisubuntu14.04_5.2.8"]
+config_path: [""]
+config_description: "Disable root login over SSH."
+file_context: ["sshd_config"]
+preferred_value: ["no"]
+preferred_value_match: exact,any
+not_present_description: "PermitRootLogin is not present. It is enabled by default."
+not_matched_preferred_value_description: "PermitRootLogin is present but it is enabled."
+matched_description: "Root login is disabled."
+suggested_action: "Set 'PermitRootLogin no' in sshd_config."
+---
+config_name: Protocol
+tags: ["#cis", "#cisubuntu14.04_5.2.2"]
+config_description: "Use SSH protocol 2 only."
+config_path: [""]
+file_context: ["sshd_config"]
+preferred_value: ["2"]
+preferred_value_match: exact,any
+not_present_description: "Protocol is not present; ensure the server defaults to protocol 2."
+not_matched_preferred_value_description: "SSH protocol 1 is permitted."
+matched_description: "SSH protocol is restricted to version 2."
+absent_pass: true
+---
+config_name: X11Forwarding
+tags: ["#cis", "#cisubuntu14.04_5.2.6"]
+config_description: "Disable X11 forwarding."
+config_path: [""]
+file_context: ["sshd_config"]
+preferred_value: ["no"]
+preferred_value_match: exact,any
+not_present_description: "X11Forwarding is not present."
+not_matched_preferred_value_description: "X11 forwarding is enabled."
+matched_description: "X11 forwarding is disabled."
+---
+config_name: MaxAuthTries
+tags: ["#cis", "#cisubuntu14.04_5.2.7"]
+config_description: "Limit authentication attempts to at most 4."
+config_path: [""]
+file_context: ["sshd_config"]
+preferred_value: ["^[1-4]$"]
+preferred_value_match: regex,any
+not_present_description: "MaxAuthTries is not present; the default (6) is too high."
+not_matched_preferred_value_description: "MaxAuthTries exceeds 4."
+matched_description: "MaxAuthTries is 4 or lower."
+---
+config_name: IgnoreRhosts
+tags: ["#cis", "#cisubuntu14.04_5.2.9"]
+config_description: "Ignore .rhosts files."
+config_path: [""]
+file_context: ["sshd_config"]
+preferred_value: ["yes"]
+preferred_value_match: exact,any
+not_present_description: "IgnoreRhosts is not present."
+not_matched_preferred_value_description: "IgnoreRhosts is disabled."
+matched_description: "IgnoreRhosts is enabled."
+absent_pass: true
+---
+config_name: HostbasedAuthentication
+tags: ["#cis", "#cisubuntu14.04_5.2.10"]
+config_description: "Disable host-based authentication."
+config_path: [""]
+file_context: ["sshd_config"]
+preferred_value: ["no"]
+preferred_value_match: exact,any
+not_present_description: "HostbasedAuthentication is not present."
+not_matched_preferred_value_description: "Host-based authentication is enabled."
+matched_description: "Host-based authentication is disabled."
+absent_pass: true
+---
+config_name: PermitEmptyPasswords
+tags: ["#cis", "#cisubuntu14.04_5.2.11"]
+config_description: "Forbid empty passwords."
+config_path: [""]
+file_context: ["sshd_config"]
+preferred_value: ["no"]
+preferred_value_match: exact,any
+not_present_description: "PermitEmptyPasswords is not present."
+not_matched_preferred_value_description: "Empty passwords are permitted."
+matched_description: "Empty passwords are forbidden."
+absent_pass: true
+---
+config_name: PermitUserEnvironment
+tags: ["#cis", "#cisubuntu14.04_5.2.12"]
+config_description: "Do not allow users to set environment options."
+config_path: [""]
+file_context: ["sshd_config"]
+preferred_value: ["no"]
+preferred_value_match: exact,any
+not_present_description: "PermitUserEnvironment is not present."
+not_matched_preferred_value_description: "PermitUserEnvironment is enabled."
+matched_description: "PermitUserEnvironment is disabled."
+absent_pass: true
+---
+config_name: ClientAliveInterval
+tags: ["#cis", "#cisubuntu14.04_5.2.13"]
+config_description: "Set an idle timeout interval of at most 300 seconds."
+config_path: [""]
+file_context: ["sshd_config"]
+preferred_value: ["^([1-9]|[1-9][0-9]|[1-2][0-9][0-9]|300)$"]
+preferred_value_match: regex,any
+not_present_description: "ClientAliveInterval is not present; idle sessions never time out."
+not_matched_preferred_value_description: "ClientAliveInterval exceeds 300 seconds."
+matched_description: "Idle timeout interval is at most 300 seconds."
+---
+config_name: ClientAliveCountMax
+tags: ["#cis", "#cisubuntu14.04_5.2.13"]
+config_description: "Allow at most 3 client-alive probes."
+config_path: [""]
+file_context: ["sshd_config"]
+preferred_value: ["^[0-3]$"]
+preferred_value_match: regex,any
+not_present_description: "ClientAliveCountMax is not present."
+not_matched_preferred_value_description: "ClientAliveCountMax exceeds 3."
+matched_description: "ClientAliveCountMax is at most 3."
+absent_pass: true
+---
+config_name: LoginGraceTime
+tags: ["#cis", "#cisubuntu14.04_5.2.14"]
+config_description: "Limit the login grace period to at most 60 seconds."
+config_path: [""]
+file_context: ["sshd_config"]
+preferred_value: ["^([1-9]|[1-5][0-9]|60)$"]
+preferred_value_match: regex,any
+not_present_description: "LoginGraceTime is not present; the default (120s) is too long."
+not_matched_preferred_value_description: "LoginGraceTime exceeds 60 seconds."
+matched_description: "LoginGraceTime is at most 60 seconds."
+---
+config_name: Banner
+tags: ["#cis", "#cisubuntu14.04_5.2.16"]
+config_description: "Configure a warning banner."
+config_path: [""]
+file_context: ["sshd_config"]
+not_present_description: "No SSH warning banner is configured."
+matched_description: "A warning banner is configured."
+---
+config_name: UsePAM
+tags: ["#cis", "#security"]
+config_description: "Enable PAM authentication."
+config_path: [""]
+file_context: ["sshd_config"]
+preferred_value: ["yes"]
+preferred_value_match: exact,any
+not_present_description: "UsePAM is not present."
+not_matched_preferred_value_description: "PAM is disabled."
+matched_description: "PAM is enabled."
+absent_pass: true
+---
+config_name: AllowTcpForwarding
+tags: ["#cis", "#security"]
+config_description: "Disable TCP forwarding unless required."
+config_path: [""]
+file_context: ["sshd_config"]
+preferred_value: ["no"]
+preferred_value_match: exact,any
+not_present_description: "AllowTcpForwarding is not present; it is enabled by default."
+not_matched_preferred_value_description: "TCP forwarding is enabled."
+matched_description: "TCP forwarding is disabled."
+---
+config_name: LogLevel
+tags: ["#cis", "#cisubuntu14.04_5.2.3"]
+config_description: "Log at INFO or VERBOSE level."
+config_path: [""]
+file_context: ["sshd_config"]
+preferred_value: ["INFO", "VERBOSE"]
+preferred_value_match: exact,any
+not_present_description: "LogLevel is not present."
+not_matched_preferred_value_description: "LogLevel is not INFO or VERBOSE."
+matched_description: "LogLevel is INFO or VERBOSE."
+absent_pass: true
+---
+config_name: Ciphers
+tags: ["#cis", "#cisubuntu14.04_5.2.15"]
+config_description: "Use only strong ciphers."
+config_path: [""]
+file_context: ["sshd_config"]
+non_preferred_value: ["3des", "arcfour", "blowfish", "cast128"]
+non_preferred_value_match: substr,any
+not_present_description: "Ciphers not restricted; server defaults apply."
+not_matched_preferred_value_description: "Weak ciphers are enabled."
+matched_description: "No weak ciphers are enabled."
+absent_pass: true
+---
+config_name: MACs
+tags: ["#cis", "#security"]
+config_description: "Use only strong MAC algorithms."
+config_path: [""]
+file_context: ["sshd_config"]
+non_preferred_value: ["md5", "ripemd", "sha1-96"]
+non_preferred_value_match: substr,any
+not_present_description: "MACs not restricted; server defaults apply."
+not_matched_preferred_value_description: "Weak MAC algorithms are enabled."
+matched_description: "No weak MAC algorithms are enabled."
+absent_pass: true
+---
+config_name: KexAlgorithms
+tags: ["#cis", "#security"]
+config_description: "Use only strong key-exchange algorithms."
+config_path: [""]
+file_context: ["sshd_config"]
+non_preferred_value: ["diffie-hellman-group1-sha1", "diffie-hellman-group-exchange-sha1"]
+non_preferred_value_match: substr,any
+not_present_description: "KexAlgorithms not restricted; server defaults apply."
+not_matched_preferred_value_description: "Weak key-exchange algorithms are enabled."
+matched_description: "No weak key-exchange algorithms are enabled."
+absent_pass: true
+`
+
+// sysctlRules validate kernel parameters (CIS 3.x).
+const sysctlRules = `
+config_name: net/ipv4/ip_forward
+tags: ["#cis", "#cisubuntu14.04_7.2.1"]
+config_description: "Disable IP forwarding."
+config_path: [""]
+preferred_value: ["0"]
+preferred_value_match: exact,any
+not_present_description: "net.ipv4.ip_forward is not set."
+not_matched_preferred_value_description: "IP forwarding is enabled."
+matched_description: "IP forwarding is disabled."
+---
+config_name: net/ipv4/conf/all/send_redirects
+tags: ["#cis", "#cisubuntu14.04_7.2.2"]
+config_description: "Disable sending ICMP redirects (all)."
+config_path: [""]
+preferred_value: ["0"]
+preferred_value_match: exact,any
+not_present_description: "net.ipv4.conf.all.send_redirects is not set."
+not_matched_preferred_value_description: "ICMP redirect sending is enabled (all)."
+matched_description: "ICMP redirect sending is disabled (all)."
+---
+config_name: net/ipv4/conf/default/send_redirects
+tags: ["#cis", "#cisubuntu14.04_7.2.2"]
+config_description: "Disable sending ICMP redirects (default)."
+config_path: [""]
+preferred_value: ["0"]
+preferred_value_match: exact,any
+not_present_description: "net.ipv4.conf.default.send_redirects is not set."
+not_matched_preferred_value_description: "ICMP redirect sending is enabled (default)."
+matched_description: "ICMP redirect sending is disabled (default)."
+---
+config_name: net/ipv4/conf/all/accept_source_route
+tags: ["#cis", "#cisubuntu14.04_7.3.1"]
+config_description: "Do not accept source-routed packets (all)."
+config_path: [""]
+preferred_value: ["0"]
+preferred_value_match: exact,any
+not_present_description: "net.ipv4.conf.all.accept_source_route is not set."
+not_matched_preferred_value_description: "Source-routed packets are accepted (all)."
+matched_description: "Source-routed packets are rejected (all)."
+---
+config_name: net/ipv4/conf/default/accept_source_route
+tags: ["#cis", "#cisubuntu14.04_7.3.1"]
+config_description: "Do not accept source-routed packets (default)."
+config_path: [""]
+preferred_value: ["0"]
+preferred_value_match: exact,any
+not_present_description: "net.ipv4.conf.default.accept_source_route is not set."
+not_matched_preferred_value_description: "Source-routed packets are accepted (default)."
+matched_description: "Source-routed packets are rejected (default)."
+---
+config_name: net/ipv4/conf/all/accept_redirects
+tags: ["#cis", "#cisubuntu14.04_7.3.2"]
+config_description: "Do not accept ICMP redirects (all)."
+config_path: [""]
+preferred_value: ["0"]
+preferred_value_match: exact,any
+not_present_description: "net.ipv4.conf.all.accept_redirects is not set."
+not_matched_preferred_value_description: "ICMP redirects are accepted (all)."
+matched_description: "ICMP redirects are rejected (all)."
+---
+config_name: net/ipv4/conf/default/accept_redirects
+tags: ["#cis", "#cisubuntu14.04_7.3.2"]
+config_description: "Do not accept ICMP redirects (default)."
+config_path: [""]
+preferred_value: ["0"]
+preferred_value_match: exact,any
+not_present_description: "net.ipv4.conf.default.accept_redirects is not set."
+not_matched_preferred_value_description: "ICMP redirects are accepted (default)."
+matched_description: "ICMP redirects are rejected (default)."
+---
+config_name: net/ipv4/conf/all/secure_redirects
+tags: ["#cis", "#cisubuntu14.04_7.3.3"]
+config_description: "Do not accept secure ICMP redirects (all)."
+config_path: [""]
+preferred_value: ["0"]
+preferred_value_match: exact,any
+not_present_description: "net.ipv4.conf.all.secure_redirects is not set."
+not_matched_preferred_value_description: "Secure ICMP redirects are accepted."
+matched_description: "Secure ICMP redirects are rejected."
+---
+config_name: net/ipv4/conf/all/log_martians
+tags: ["#cis", "#cisubuntu14.04_7.3.4"]
+config_description: "Log suspicious (martian) packets."
+config_path: [""]
+preferred_value: ["1"]
+preferred_value_match: exact,any
+not_present_description: "net.ipv4.conf.all.log_martians is not set."
+not_matched_preferred_value_description: "Martian packets are not logged."
+matched_description: "Martian packets are logged."
+---
+config_name: net/ipv4/icmp_echo_ignore_broadcasts
+tags: ["#cis", "#cisubuntu14.04_7.3.5"]
+config_description: "Ignore broadcast ICMP echo requests."
+config_path: [""]
+preferred_value: ["1"]
+preferred_value_match: exact,any
+not_present_description: "net.ipv4.icmp_echo_ignore_broadcasts is not set."
+not_matched_preferred_value_description: "Broadcast pings are answered."
+matched_description: "Broadcast pings are ignored."
+---
+config_name: net/ipv4/icmp_ignore_bogus_error_responses
+tags: ["#cis", "#cisubuntu14.04_7.3.6"]
+config_description: "Ignore bogus ICMP error responses."
+config_path: [""]
+preferred_value: ["1"]
+preferred_value_match: exact,any
+not_present_description: "net.ipv4.icmp_ignore_bogus_error_responses is not set."
+not_matched_preferred_value_description: "Bogus ICMP errors are processed."
+matched_description: "Bogus ICMP errors are ignored."
+---
+config_name: net/ipv4/conf/all/rp_filter
+tags: ["#cis", "#cisubuntu14.04_7.3.7"]
+config_description: "Enable reverse-path filtering (all)."
+config_path: [""]
+preferred_value: ["1"]
+preferred_value_match: exact,any
+not_present_description: "net.ipv4.conf.all.rp_filter is not set."
+not_matched_preferred_value_description: "Reverse-path filtering is disabled (all)."
+matched_description: "Reverse-path filtering is enabled (all)."
+---
+config_name: net/ipv4/conf/default/rp_filter
+tags: ["#cis", "#cisubuntu14.04_7.3.7"]
+config_description: "Enable reverse-path filtering (default)."
+config_path: [""]
+preferred_value: ["1"]
+preferred_value_match: exact,any
+not_present_description: "net.ipv4.conf.default.rp_filter is not set."
+not_matched_preferred_value_description: "Reverse-path filtering is disabled (default)."
+matched_description: "Reverse-path filtering is enabled (default)."
+---
+config_name: net/ipv4/tcp_syncookies
+tags: ["#cis", "#cisubuntu14.04_7.3.8"]
+config_description: "Enable TCP SYN cookies."
+config_path: [""]
+preferred_value: ["1"]
+preferred_value_match: exact,any
+not_present_description: "net.ipv4.tcp_syncookies is not set."
+not_matched_preferred_value_description: "TCP SYN cookies are disabled."
+matched_description: "TCP SYN cookies are enabled."
+---
+config_name: net/ipv6/conf/all/accept_ra
+tags: ["#cis", "#cisubuntu14.04_7.4.1"]
+config_description: "Do not accept IPv6 router advertisements."
+config_path: [""]
+preferred_value: ["0"]
+preferred_value_match: exact,any
+not_present_description: "net.ipv6.conf.all.accept_ra is not set."
+not_matched_preferred_value_description: "IPv6 router advertisements are accepted."
+matched_description: "IPv6 router advertisements are rejected."
+---
+config_name: net/ipv6/conf/all/accept_redirects
+tags: ["#cis", "#cisubuntu14.04_7.4.2"]
+config_description: "Do not accept IPv6 redirects."
+config_path: [""]
+preferred_value: ["0"]
+preferred_value_match: exact,any
+not_present_description: "net.ipv6.conf.all.accept_redirects is not set."
+not_matched_preferred_value_description: "IPv6 redirects are accepted."
+matched_description: "IPv6 redirects are rejected."
+---
+config_name: kernel/randomize_va_space
+tags: ["#cis", "#cisubuntu14.04_4.3"]
+config_description: "Enable full address-space layout randomization."
+config_path: [""]
+preferred_value: ["2"]
+preferred_value_match: exact,any
+not_present_description: "kernel.randomize_va_space is not set."
+not_matched_preferred_value_description: "ASLR is not fully enabled."
+matched_description: "Full ASLR is enabled."
+---
+config_name: fs/suid_dumpable
+tags: ["#cis", "#cisubuntu14.04_4.1"]
+config_description: "Disable core dumps for setuid programs."
+config_path: [""]
+preferred_value: ["0"]
+preferred_value_match: exact,any
+not_present_description: "fs.suid_dumpable is not set."
+not_matched_preferred_value_description: "Setuid core dumps are enabled."
+matched_description: "Setuid core dumps are disabled."
+`
+
+// auditRules validate /etc/audit/audit.rules (CIS 8.1.x): watch rules on
+// sensitive files plus syscall rules, matching the Ubuntu audit checklist.
+const auditRules = `
+config_schema_name: audit_identity_passwd
+tags: ["#cis", "#cisubuntu14.04_8.1.5"]
+config_schema_description: "Watch /etc/passwd for identity changes."
+query_constraints: "kind = ? AND target = ?"
+query_constraints_value: ["watch", "/etc/passwd"]
+expect_rows: ">=1"
+matched_description: "/etc/passwd is audited."
+not_matched_preferred_value_description: "/etc/passwd is not audited."
+---
+config_schema_name: audit_identity_group
+tags: ["#cis", "#cisubuntu14.04_8.1.5"]
+config_schema_description: "Watch /etc/group for identity changes."
+query_constraints: "kind = ? AND target = ?"
+query_constraints_value: ["watch", "/etc/group"]
+expect_rows: ">=1"
+matched_description: "/etc/group is audited."
+not_matched_preferred_value_description: "/etc/group is not audited."
+---
+config_schema_name: audit_identity_shadow
+tags: ["#cis", "#cisubuntu14.04_8.1.5"]
+config_schema_description: "Watch /etc/shadow for identity changes."
+query_constraints: "kind = ? AND target = ?"
+query_constraints_value: ["watch", "/etc/shadow"]
+expect_rows: ">=1"
+matched_description: "/etc/shadow is audited."
+not_matched_preferred_value_description: "/etc/shadow is not audited."
+---
+config_schema_name: audit_identity_gshadow
+tags: ["#cis", "#cisubuntu14.04_8.1.5"]
+config_schema_description: "Watch /etc/gshadow for identity changes."
+query_constraints: "kind = ? AND target = ?"
+query_constraints_value: ["watch", "/etc/gshadow"]
+expect_rows: ">=1"
+matched_description: "/etc/gshadow is audited."
+not_matched_preferred_value_description: "/etc/gshadow is not audited."
+---
+config_schema_name: audit_identity_opasswd
+tags: ["#cis", "#cisubuntu14.04_8.1.5"]
+config_schema_description: "Watch /etc/security/opasswd for identity changes."
+query_constraints: "kind = ? AND target = ?"
+query_constraints_value: ["watch", "/etc/security/opasswd"]
+expect_rows: ">=1"
+matched_description: "/etc/security/opasswd is audited."
+not_matched_preferred_value_description: "/etc/security/opasswd is not audited."
+---
+config_schema_name: audit_sudoers
+tags: ["#cis", "#cisubuntu14.04_8.1.14"]
+config_schema_description: "Watch /etc/sudoers for scope changes."
+query_constraints: "kind = ? AND target = ?"
+query_constraints_value: ["watch", "/etc/sudoers"]
+expect_rows: ">=1"
+matched_description: "/etc/sudoers is audited."
+not_matched_preferred_value_description: "/etc/sudoers is not audited."
+---
+config_schema_name: audit_sudoers_d
+tags: ["#cis", "#cisubuntu14.04_8.1.14"]
+config_schema_description: "Watch /etc/sudoers.d for scope changes."
+query_constraints: "kind = ? AND target = ?"
+query_constraints_value: ["watch", "/etc/sudoers.d"]
+expect_rows: ">=1"
+matched_description: "/etc/sudoers.d is audited."
+not_matched_preferred_value_description: "/etc/sudoers.d is not audited."
+---
+config_schema_name: audit_sudo_log
+tags: ["#cis", "#cisubuntu14.04_8.1.15"]
+config_schema_description: "Watch the sudo log for administrator actions."
+query_constraints: "kind = ? AND target = ?"
+query_constraints_value: ["watch", "/var/log/sudo.log"]
+expect_rows: ">=1"
+matched_description: "The sudo log is audited."
+not_matched_preferred_value_description: "The sudo log is not audited."
+---
+config_schema_name: audit_faillog
+tags: ["#cis", "#cisubuntu14.04_8.1.7"]
+config_schema_description: "Watch /var/log/faillog for login-failure records."
+query_constraints: "kind = ? AND target = ?"
+query_constraints_value: ["watch", "/var/log/faillog"]
+expect_rows: ">=1"
+matched_description: "/var/log/faillog is audited."
+not_matched_preferred_value_description: "/var/log/faillog is not audited."
+---
+config_schema_name: audit_lastlog
+tags: ["#cis", "#cisubuntu14.04_8.1.7"]
+config_schema_description: "Watch /var/log/lastlog for login records."
+query_constraints: "kind = ? AND target = ?"
+query_constraints_value: ["watch", "/var/log/lastlog"]
+expect_rows: ">=1"
+matched_description: "/var/log/lastlog is audited."
+not_matched_preferred_value_description: "/var/log/lastlog is not audited."
+---
+config_schema_name: audit_tallylog
+tags: ["#cis", "#cisubuntu14.04_8.1.7"]
+config_schema_description: "Watch /var/log/tallylog for login records."
+query_constraints: "kind = ? AND target = ?"
+query_constraints_value: ["watch", "/var/log/tallylog"]
+expect_rows: ">=1"
+matched_description: "/var/log/tallylog is audited."
+not_matched_preferred_value_description: "/var/log/tallylog is not audited."
+---
+config_schema_name: audit_apparmor
+tags: ["#cis", "#cisubuntu14.04_8.1.8"]
+config_schema_description: "Watch AppArmor policy for MAC changes."
+query_constraints: "kind = ? AND target = ?"
+query_constraints_value: ["watch", "/etc/apparmor/"]
+expect_rows: ">=1"
+matched_description: "AppArmor policy is audited."
+not_matched_preferred_value_description: "AppArmor policy is not audited."
+---
+config_schema_name: audit_hosts
+tags: ["#cis", "#cisubuntu14.04_8.1.6"]
+config_schema_description: "Watch /etc/hosts for network-environment changes."
+query_constraints: "kind = ? AND target = ?"
+query_constraints_value: ["watch", "/etc/hosts"]
+expect_rows: ">=1"
+matched_description: "/etc/hosts is audited."
+not_matched_preferred_value_description: "/etc/hosts is not audited."
+---
+config_schema_name: audit_network_interfaces
+tags: ["#cis", "#cisubuntu14.04_8.1.6"]
+config_schema_description: "Watch /etc/network for network-environment changes."
+query_constraints: "kind = ? AND target = ?"
+query_constraints_value: ["watch", "/etc/network"]
+expect_rows: ">=1"
+matched_description: "/etc/network is audited."
+not_matched_preferred_value_description: "/etc/network is not audited."
+---
+config_schema_name: audit_utmp
+tags: ["#cis", "#cisubuntu14.04_8.1.9"]
+config_schema_description: "Watch /var/run/utmp for session initiation."
+query_constraints: "kind = ? AND target = ?"
+query_constraints_value: ["watch", "/var/run/utmp"]
+expect_rows: ">=1"
+matched_description: "/var/run/utmp is audited."
+not_matched_preferred_value_description: "/var/run/utmp is not audited."
+---
+config_schema_name: audit_wtmp
+tags: ["#cis", "#cisubuntu14.04_8.1.9"]
+config_schema_description: "Watch /var/log/wtmp for session initiation."
+query_constraints: "kind = ? AND target = ?"
+query_constraints_value: ["watch", "/var/log/wtmp"]
+expect_rows: ">=1"
+matched_description: "/var/log/wtmp is audited."
+not_matched_preferred_value_description: "/var/log/wtmp is not audited."
+---
+config_schema_name: audit_btmp
+tags: ["#cis", "#cisubuntu14.04_8.1.9"]
+config_schema_description: "Watch /var/log/btmp for session initiation."
+query_constraints: "kind = ? AND target = ?"
+query_constraints_value: ["watch", "/var/log/btmp"]
+expect_rows: ">=1"
+matched_description: "/var/log/btmp is audited."
+not_matched_preferred_value_description: "/var/log/btmp is not audited."
+---
+config_schema_name: audit_time_change
+tags: ["#cis", "#cisubuntu14.04_8.1.4"]
+config_schema_description: "Audit time-change syscalls."
+query_constraints: "kind = ? AND key = ?"
+query_constraints_value: ["syscall", "time-change"]
+expect_rows: ">=1"
+matched_description: "Time changes are audited."
+not_matched_preferred_value_description: "Time changes are not audited."
+---
+config_schema_name: audit_system_locale
+tags: ["#cis", "#cisubuntu14.04_8.1.6"]
+config_schema_description: "Audit system-locale (network) syscalls."
+query_constraints: "kind = ? AND key = ?"
+query_constraints_value: ["syscall", "system-locale"]
+expect_rows: ">=1"
+matched_description: "System-locale changes are audited."
+not_matched_preferred_value_description: "System-locale changes are not audited."
+---
+config_schema_name: audit_perm_mod
+tags: ["#cis", "#cisubuntu14.04_8.1.10"]
+config_schema_description: "Audit permission-modification syscalls."
+query_constraints: "kind = ? AND key = ?"
+query_constraints_value: ["syscall", "perm_mod"]
+expect_rows: ">=1"
+matched_description: "Permission modifications are audited."
+not_matched_preferred_value_description: "Permission modifications are not audited."
+`
+
+// fstabRules validate /etc/fstab mount layout (CIS 2.x).
+const fstabRules = `
+config_schema_name: check_tmp_separate_partition
+tags: ["#cis", "#cisubuntu14.04_2.1"]
+config_schema_description: "Check if /tmp is on a separate partition"
+applies_to: ["host"]
+query_constraints: "dir = ?"
+query_constraints_value: ["/tmp"]
+query_columns: "*"
+non_preferred_value: [""]
+non_preferred_value_match: exact,all
+not_matched_preferred_value_description: "/tmp not on sep. partition"
+matched_description: "/tmp is on a separate partition"
+---
+config_schema_name: tmp_nodev
+tags: ["#cis", "#cisubuntu14.04_2.2"]
+config_schema_description: "Mount /tmp with nodev."
+applies_to: ["host"]
+query_constraints: "dir = ?"
+query_constraints_value: ["/tmp"]
+query_columns: ["options"]
+preferred_value: ["nodev"]
+preferred_value_match: substr,all
+not_matched_preferred_value_description: "/tmp is not mounted nodev."
+matched_description: "/tmp is mounted nodev."
+---
+config_schema_name: tmp_nosuid
+tags: ["#cis", "#cisubuntu14.04_2.3"]
+config_schema_description: "Mount /tmp with nosuid."
+applies_to: ["host"]
+query_constraints: "dir = ?"
+query_constraints_value: ["/tmp"]
+query_columns: ["options"]
+preferred_value: ["nosuid"]
+preferred_value_match: substr,all
+not_matched_preferred_value_description: "/tmp is not mounted nosuid."
+matched_description: "/tmp is mounted nosuid."
+---
+config_schema_name: tmp_noexec
+tags: ["#cis", "#cisubuntu14.04_2.4"]
+config_schema_description: "Mount /tmp with noexec."
+applies_to: ["host"]
+query_constraints: "dir = ?"
+query_constraints_value: ["/tmp"]
+query_columns: ["options"]
+preferred_value: ["noexec"]
+preferred_value_match: substr,all
+not_matched_preferred_value_description: "/tmp is not mounted noexec."
+matched_description: "/tmp is mounted noexec."
+---
+config_schema_name: check_var_separate_partition
+tags: ["#cis", "#cisubuntu14.04_2.5"]
+config_schema_description: "Check if /var is on a separate partition."
+applies_to: ["host"]
+query_constraints: "dir = ?"
+query_constraints_value: ["/var"]
+non_preferred_value: [""]
+non_preferred_value_match: exact,all
+not_matched_preferred_value_description: "/var not on a separate partition."
+matched_description: "/var is on a separate partition."
+---
+config_schema_name: check_var_log_separate_partition
+tags: ["#cis", "#cisubuntu14.04_2.8"]
+config_schema_description: "Check if /var/log is on a separate partition."
+applies_to: ["host"]
+query_constraints: "dir = ?"
+query_constraints_value: ["/var/log"]
+non_preferred_value: [""]
+non_preferred_value_match: exact,all
+not_matched_preferred_value_description: "/var/log not on a separate partition."
+matched_description: "/var/log is on a separate partition."
+---
+config_schema_name: check_home_separate_partition
+tags: ["#cis", "#cisubuntu14.04_2.10"]
+config_schema_description: "Check if /home is on a separate partition."
+applies_to: ["host"]
+query_constraints: "dir = ?"
+query_constraints_value: ["/home"]
+non_preferred_value: [""]
+non_preferred_value_match: exact,all
+not_matched_preferred_value_description: "/home not on a separate partition."
+matched_description: "/home is on a separate partition."
+---
+config_schema_name: shm_hardened
+tags: ["#cis", "#cisubuntu14.04_2.14"]
+config_schema_description: "Mount /dev/shm nodev, nosuid, and noexec."
+applies_to: ["host"]
+query_constraints: "dir = ?"
+query_constraints_value: ["/dev/shm"]
+query_columns: ["options"]
+preferred_value: ["nodev", "nosuid", "noexec"]
+preferred_value_match: substr,all
+not_matched_preferred_value_description: "/dev/shm lacks nodev/nosuid/noexec."
+matched_description: "/dev/shm is mounted nodev, nosuid, noexec."
+`
+
+// modprobeRules disable uncommon filesystems and drivers (CIS 1.1.x).
+const modprobeRules = `
+config_schema_name: disable_cramfs
+tags: ["#cis", "#cisubuntu14.04_1.1"]
+config_schema_description: "Disable mounting of cramfs filesystems."
+query_constraints: "directive = ? AND module = ?"
+query_constraints_value: ["install", "cramfs"]
+query_columns: ["args"]
+preferred_value: ["/bin/true"]
+preferred_value_match: exact,any
+not_matched_preferred_value_description: "cramfs is not disabled."
+matched_description: "cramfs is disabled."
+---
+config_schema_name: disable_freevxfs
+tags: ["#cis", "#cisubuntu14.04_1.2"]
+config_schema_description: "Disable mounting of freevxfs filesystems."
+query_constraints: "directive = ? AND module = ?"
+query_constraints_value: ["install", "freevxfs"]
+query_columns: ["args"]
+preferred_value: ["/bin/true"]
+preferred_value_match: exact,any
+not_matched_preferred_value_description: "freevxfs is not disabled."
+matched_description: "freevxfs is disabled."
+---
+config_schema_name: disable_jffs2
+tags: ["#cis", "#cisubuntu14.04_1.3"]
+config_schema_description: "Disable mounting of jffs2 filesystems."
+query_constraints: "directive = ? AND module = ?"
+query_constraints_value: ["install", "jffs2"]
+query_columns: ["args"]
+preferred_value: ["/bin/true"]
+preferred_value_match: exact,any
+not_matched_preferred_value_description: "jffs2 is not disabled."
+matched_description: "jffs2 is disabled."
+---
+config_schema_name: disable_hfs
+tags: ["#cis", "#cisubuntu14.04_1.4"]
+config_schema_description: "Disable mounting of hfs filesystems."
+query_constraints: "directive = ? AND module = ?"
+query_constraints_value: ["install", "hfs"]
+query_columns: ["args"]
+preferred_value: ["/bin/true"]
+preferred_value_match: exact,any
+not_matched_preferred_value_description: "hfs is not disabled."
+matched_description: "hfs is disabled."
+---
+config_schema_name: disable_hfsplus
+tags: ["#cis", "#cisubuntu14.04_1.5"]
+config_schema_description: "Disable mounting of hfsplus filesystems."
+query_constraints: "directive = ? AND module = ?"
+query_constraints_value: ["install", "hfsplus"]
+query_columns: ["args"]
+preferred_value: ["/bin/true"]
+preferred_value_match: exact,any
+not_matched_preferred_value_description: "hfsplus is not disabled."
+matched_description: "hfsplus is disabled."
+---
+config_schema_name: disable_squashfs
+tags: ["#cis", "#cisubuntu14.04_1.6"]
+config_schema_description: "Disable mounting of squashfs filesystems."
+query_constraints: "directive = ? AND module = ?"
+query_constraints_value: ["install", "squashfs"]
+query_columns: ["args"]
+preferred_value: ["/bin/true"]
+preferred_value_match: exact,any
+not_matched_preferred_value_description: "squashfs is not disabled."
+matched_description: "squashfs is disabled."
+---
+config_schema_name: disable_udf
+tags: ["#cis", "#cisubuntu14.04_1.7"]
+config_schema_description: "Disable mounting of udf filesystems."
+query_constraints: "directive = ? AND module = ?"
+query_constraints_value: ["install", "udf"]
+query_columns: ["args"]
+preferred_value: ["/bin/true"]
+preferred_value_match: exact,any
+not_matched_preferred_value_description: "udf is not disabled."
+matched_description: "udf is disabled."
+---
+config_schema_name: disable_usb_storage
+tags: ["#cis", "#security"]
+config_schema_description: "Disable the usb-storage driver."
+query_constraints: "directive = ? AND module = ?"
+query_constraints_value: ["install", "usb-storage"]
+query_columns: ["args"]
+preferred_value: ["/bin/true"]
+preferred_value_match: exact,any
+not_matched_preferred_value_description: "usb-storage is not disabled."
+matched_description: "usb-storage is disabled."
+`

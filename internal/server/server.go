@@ -1,0 +1,196 @@
+// Package server exposes ConfigValidator as an HTTP service — the shape of
+// the paper's production deployment, where validation runs as part of a
+// cloud service (IBM Vulnerability Advisor) rather than on the scanned
+// hosts. Clients capture a configuration frame locally (touchless, no
+// agent) and POST it for validation.
+//
+// API:
+//
+//	GET  /healthz                 liveness
+//	GET  /v1/targets              built-in target list (Table 1)
+//	GET  /v1/rules/{target}       the target's CVL rule file
+//	POST /v1/validate/frame       validate a frame stream → JSON report
+//	POST /v1/validate/tar         validate a docker-export tar → JSON report
+//	POST /v1/lint                 lint a CVL rule file → diagnostics
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	configvalidator "configvalidator"
+	"configvalidator/internal/cvl"
+	"configvalidator/internal/entity"
+	"configvalidator/internal/frames"
+	"configvalidator/internal/rules"
+)
+
+// MaxFrameBytes bounds accepted frame uploads.
+const MaxFrameBytes = 256 << 20
+
+// Server handles validation requests.
+type Server struct {
+	validator *configvalidator.Validator
+}
+
+// New creates a server backed by the built-in rule library, or by the
+// supplied validator when non-nil.
+func New(v *configvalidator.Validator) (*Server, error) {
+	if v == nil {
+		var err error
+		v, err = configvalidator.New()
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
+	return &Server{validator: v}, nil
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /v1/targets", s.handleTargets)
+	mux.HandleFunc("GET /v1/rules/{target}", s.handleRules)
+	mux.HandleFunc("POST /v1/validate/frame", s.handleValidateFrame)
+	mux.HandleFunc("POST /v1/validate/tar", s.handleValidateTar)
+	mux.HandleFunc("POST /v1/lint", s.handleLint)
+	return mux
+}
+
+type targetInfo struct {
+	Name     string `json:"name"`
+	Category string `json:"category"`
+	Standard string `json:"standard"`
+	Rules    int    `json:"rules"`
+}
+
+func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
+	all, err := rules.All()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "load rules: %v", err)
+		return
+	}
+	out := make([]targetInfo, 0, len(rules.Targets()))
+	for _, t := range rules.Targets() {
+		out = append(out, targetInfo{
+			Name:     t.Name,
+			Category: t.Category,
+			Standard: t.Standard,
+			Rules:    len(all[t.Name]),
+		})
+	}
+	writeJSON(w, map[string]any{"targets": out})
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	target := r.PathValue("target")
+	var ruleFile string
+	for _, t := range rules.Targets() {
+		if t.Name == target {
+			ruleFile = t.RuleFile
+		}
+	}
+	if ruleFile == "" {
+		httpError(w, http.StatusNotFound, "unknown target %q", target)
+		return
+	}
+	content, err := rules.Reader()(ruleFile)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "read rules: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/yaml")
+	_, _ = w.Write(content)
+}
+
+func (s *Server) handleValidateFrame(w http.ResponseWriter, r *http.Request) {
+	frame, err := frames.Read(io.LimitReader(r.Body, MaxFrameBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad frame: %v", err)
+		return
+	}
+	s.validateEntity(w, r, frame.Entity())
+}
+
+// handleValidateTar accepts a tar archive (a docker export) and validates
+// it as a container filesystem. The entity name comes from ?name=.
+func (s *Server) handleValidateTar(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "uploaded-tar"
+	}
+	ent, err := entity.NewFromTar(name, entity.TypeContainer, io.LimitReader(r.Body, MaxFrameBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad tar: %v", err)
+		return
+	}
+	s.validateEntity(w, r, ent)
+}
+
+func (s *Server) validateEntity(w http.ResponseWriter, r *http.Request, ent configvalidator.Entity) {
+	var report *configvalidator.Report
+	var err error
+	if target := r.URL.Query().Get("target"); target != "" {
+		report, err = s.validator.ValidateTarget(ent, target)
+	} else {
+		report, err = s.validator.Validate(ent)
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "validate: %v", err)
+		return
+	}
+	opts := configvalidator.OutputOptions{}
+	if tags := r.URL.Query().Get("tags"); tags != "" {
+		opts.TagFilter = strings.Split(tags, ",")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := configvalidator.WriteJSON(w, report, opts); err != nil {
+		// Headers already sent; nothing safe to do but log-level surface.
+		return
+	}
+}
+
+type lintResponse struct {
+	Errors   int      `json:"errors"`
+	Warnings int      `json:"warnings"`
+	Findings []string `json:"findings"`
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	content, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	diags := cvl.Lint("request.yaml", content)
+	resp := lintResponse{Findings: make([]string, 0, len(diags))}
+	for _, d := range diags {
+		resp.Findings = append(resp.Findings, d.String())
+		if d.Level == cvl.LintError {
+			resp.Errors++
+		} else {
+			resp.Warnings++
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		httpError(w, http.StatusInternalServerError, "encode: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}

@@ -1,0 +1,246 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"configvalidator/internal/fixtures"
+	"configvalidator/internal/frames"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func frameBody(t *testing.T, misconfig float64) *bytes.Buffer {
+	t.Helper()
+	host, _ := fixtures.UbuntuHost("client-host", fixtures.Profile{Seed: 8, MisconfigRate: misconfig})
+	frame, err := frames.Capture(host, nil, time.Date(2017, 12, 12, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := frame.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %s", resp.Status)
+	}
+}
+
+func TestTargets(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/v1/targets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var decoded struct {
+		Targets []struct {
+			Name  string `json:"name"`
+			Rules int    `json:"rules"`
+		} `json:"targets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Targets) != 11 {
+		t.Errorf("targets = %d", len(decoded.Targets))
+	}
+	total := 0
+	for _, tg := range decoded.Targets {
+		total += tg.Rules
+	}
+	if total != 135 {
+		t.Errorf("total rules over API = %d", total)
+	}
+}
+
+func TestRulesEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/v1/rules/sshd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "PermitRootLogin") {
+		t.Errorf("status %s body %q...", resp.Status, string(body[:80]))
+	}
+
+	r2, err := http.Get(srv.URL + "/v1/rules/kubernetes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown target status = %s", r2.Status)
+	}
+}
+
+func TestValidateFrame(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Post(srv.URL+"/v1/validate/frame", "application/jsonl", frameBody(t, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %s: %s", resp.Status, body)
+	}
+	var decoded struct {
+		Entity  string         `json:"entity"`
+		Summary map[string]int `json:"summary"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Entity != "client-host" || decoded.Summary["fail"] == 0 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+}
+
+func TestValidateFrameWithTargetAndTags(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Post(srv.URL+"/v1/validate/frame?target=sshd&tags=%23cis", "application/jsonl", frameBody(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var decoded struct {
+		Results []struct {
+			ManifestEntity string `json:"manifest_entity"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Results) == 0 {
+		t.Fatal("no results")
+	}
+	for _, r := range decoded.Results {
+		if r.ManifestEntity != "sshd" {
+			t.Errorf("leaked entity %s", r.ManifestEntity)
+		}
+	}
+}
+
+func TestValidateFrameBadInput(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Post(srv.URL+"/v1/validate/frame", "text/plain", strings.NewReader("not a frame"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %s", resp.Status)
+	}
+	r2, err := http.Post(srv.URL+"/v1/validate/frame?target=nope", "application/jsonl", frameBody(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad target status = %s", r2.Status)
+	}
+}
+
+func TestValidateTar(t *testing.T) {
+	srv := testServer(t)
+	img, _ := fixtures.Image("tarred", "v1", fixtures.Profile{Seed: 3, MisconfigRate: 1})
+	var buf bytes.Buffer
+	if err := img.ExportTar(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/validate/tar?name=tarred:v1&target=sshd", "application/x-tar", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %s: %s", resp.Status, body)
+	}
+	var decoded struct {
+		Entity  string         `json:"entity"`
+		Summary map[string]int `json:"summary"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Entity != "tarred:v1" || decoded.Summary["fail"] == 0 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+
+	bad, err := http.Post(srv.URL+"/v1/validate/tar", "application/x-tar", strings.NewReader("not a tar"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad tar status = %s", bad.Status)
+	}
+}
+
+func TestLintEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Post(srv.URL+"/v1/lint", "application/yaml", strings.NewReader("config_nme: typo\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var decoded lintResponse
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Errors != 1 || len(decoded.Findings) == 0 {
+		t.Errorf("lint = %+v", decoded)
+	}
+	if !strings.Contains(decoded.Findings[0], "config_name") {
+		t.Errorf("no typo suggestion: %v", decoded.Findings)
+	}
+}
+
+// TestFrameRoundTripThroughService is the end-to-end touchless story:
+// capture locally, POST, get the same verdicts a local scan yields.
+func TestFrameRoundTripThroughService(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Post(srv.URL+"/v1/validate/frame", "application/jsonl", frameBody(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var decoded struct {
+		Summary map[string]int `json:"summary"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Summary["fail"] != 0 || decoded.Summary["error"] != 0 {
+		t.Errorf("clean frame over service: %+v", decoded.Summary)
+	}
+}

@@ -1,0 +1,48 @@
+package yaml
+
+import "testing"
+
+var benchDoc = []byte(`
+config_name: ssl_protocols
+config_path: ["server", "http/server"]
+config_description: "Enables the specified SSL protocols."
+preferred_value: [ "TLSv1.2", "TLSv1.3" ]
+non_preferred_value: [ "SSLv2", "SSLv3", "TLSv1", "TLSv1.1" ]
+non_preferred_value_match: substr,any
+preferred_value_match: substr,all
+not_present_description: "ssl_protocols is not present."
+not_matched_preferred_value_description: "Non-recommended TLS ver."
+matched_description: "ssl_protocols key is set to TLS v1.2/1.3"
+tags: ["#security", "#ssl", "#owasp"]
+require_other_configs: [ listen, ssl_certificate, ssl_certificate_key ]
+file_context: ["nginx.conf", "sites-enabled"]
+nested:
+  level1:
+    level2:
+      - item1
+      - item2
+`)
+
+func BenchmarkDecode(b *testing.B) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchDoc)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(benchDoc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	v, err := Decode(benchDoc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package yaml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestNoPanicOnMutatedInputs feeds the decoder random mutations of valid
+// documents and random garbage; every input must produce a value or an
+// error, never a panic.
+func TestNoPanicOnMutatedInputs(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	seeds := []string{
+		"a: 1\nb:\n  - x\n  - y\nc: {k: v}\n",
+		"- 1\n- [a, b]\n- {x: 'q'}\n",
+		"key: |\n  block\n  text\n",
+		"a: \"esc\\\"aped\"\n---\nb: 2\n",
+		"deep:\n  deeper:\n    deepest: [1, 2, 3]\n",
+	}
+	alphabet := []byte("abc:-[]{}#'\"|>\n\t &*!%?123 .")
+	for i := 0; i < 3000; i++ {
+		var input []byte
+		if i%2 == 0 {
+			// Mutate a valid document.
+			input = []byte(seeds[r.Intn(len(seeds))])
+			for j := 0; j < 1+r.Intn(5); j++ {
+				pos := r.Intn(len(input))
+				switch r.Intn(3) {
+				case 0:
+					input[pos] = alphabet[r.Intn(len(alphabet))]
+				case 1:
+					input = append(input[:pos], input[pos+1:]...)
+				default:
+					input = append(input[:pos], append([]byte{alphabet[r.Intn(len(alphabet))]}, input[pos:]...)...)
+				}
+				if len(input) == 0 {
+					break
+				}
+			}
+		} else {
+			// Pure garbage.
+			input = make([]byte, r.Intn(120))
+			for j := range input {
+				input[j] = alphabet[r.Intn(len(alphabet))]
+			}
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on input %q: %v", input, p)
+				}
+			}()
+			_, _ = DecodeAll(input)
+		}()
+	}
+}

@@ -1,0 +1,204 @@
+// Package yaml implements the YAML subset used by the Configuration
+// Validation Language (CVL).
+//
+// The subset covers everything that appears in CVL rule files and manifests:
+// block and flow mappings, block and flow sequences, plain/single/double
+// quoted scalars, comments, literal (|) and folded (>) block scalars, and
+// multi-document streams. It deliberately excludes anchors, aliases, tags,
+// and complex (non-scalar) mapping keys; inputs using those constructs are
+// rejected with a descriptive error rather than silently mis-parsed.
+//
+// Decoded values use the following Go types:
+//
+//	mapping  -> *yaml.Map (insertion ordered)
+//	sequence -> []any
+//	string   -> string
+//	integer  -> int64
+//	float    -> float64
+//	boolean  -> bool
+//	null     -> nil
+package yaml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Map is an insertion-ordered string-keyed mapping. YAML mappings decode to
+// *Map so that rule files keep their author-written key order, which matters
+// for linting, round-tripping, and stable report output.
+type Map struct {
+	keys []string
+	vals map[string]any
+}
+
+// NewMap returns an empty ordered map.
+func NewMap() *Map {
+	return &Map{vals: make(map[string]any)}
+}
+
+// Len reports the number of keys.
+func (m *Map) Len() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.keys)
+}
+
+// Keys returns the keys in insertion order. The returned slice is a copy.
+func (m *Map) Keys() []string {
+	if m == nil {
+		return nil
+	}
+	out := make([]string, len(m.keys))
+	copy(out, m.keys)
+	return out
+}
+
+// Get returns the value stored under key and whether it was present.
+func (m *Map) Get(key string) (any, bool) {
+	if m == nil {
+		return nil, false
+	}
+	v, ok := m.vals[key]
+	return v, ok
+}
+
+// Has reports whether key is present.
+func (m *Map) Has(key string) bool {
+	_, ok := m.Get(key)
+	return ok
+}
+
+// Set stores value under key, preserving the original position when the key
+// already exists.
+func (m *Map) Set(key string, value any) {
+	if _, ok := m.vals[key]; !ok {
+		m.keys = append(m.keys, key)
+	}
+	m.vals[key] = value
+}
+
+// Delete removes key if present.
+func (m *Map) Delete(key string) {
+	if _, ok := m.vals[key]; !ok {
+		return
+	}
+	delete(m.vals, key)
+	for i, k := range m.keys {
+		if k == key {
+			m.keys = append(m.keys[:i], m.keys[i+1:]...)
+			break
+		}
+	}
+}
+
+// String returns the value under key when it is a string. ok is false when
+// the key is absent or holds a non-string value.
+func (m *Map) String(key string) (string, bool) {
+	v, ok := m.Get(key)
+	if !ok {
+		return "", false
+	}
+	s, ok := v.(string)
+	return s, ok
+}
+
+// Bool returns the value under key when it is a bool.
+func (m *Map) Bool(key string) (bool, bool) {
+	v, ok := m.Get(key)
+	if !ok {
+		return false, false
+	}
+	b, ok := v.(bool)
+	return b, ok
+}
+
+// Int returns the value under key when it is an integer.
+func (m *Map) Int(key string) (int64, bool) {
+	v, ok := m.Get(key)
+	if !ok {
+		return 0, false
+	}
+	n, ok := v.(int64)
+	return n, ok
+}
+
+// Map returns the value under key when it is a nested mapping.
+func (m *Map) Map(key string) (*Map, bool) {
+	v, ok := m.Get(key)
+	if !ok {
+		return nil, false
+	}
+	mm, ok := v.(*Map)
+	return mm, ok
+}
+
+// Seq returns the value under key when it is a sequence.
+func (m *Map) Seq(key string) ([]any, bool) {
+	v, ok := m.Get(key)
+	if !ok {
+		return nil, false
+	}
+	s, ok := v.([]any)
+	return s, ok
+}
+
+// SortedKeys returns the keys sorted lexicographically. Useful for
+// deterministic iteration where insertion order is irrelevant.
+func (m *Map) SortedKeys() []string {
+	out := m.Keys()
+	sort.Strings(out)
+	return out
+}
+
+// Equal reports deep equality with another map, ignoring key order.
+func (m *Map) Equal(other *Map) bool {
+	if m.Len() != other.Len() {
+		return false
+	}
+	for _, k := range m.keys {
+		ov, ok := other.Get(k)
+		if !ok || !valueEqual(m.vals[k], ov) {
+			return false
+		}
+	}
+	return true
+}
+
+func valueEqual(a, b any) bool {
+	switch av := a.(type) {
+	case *Map:
+		bv, ok := b.(*Map)
+		return ok && av.Equal(bv)
+	case []any:
+		bv, ok := b.([]any)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if !valueEqual(av[i], bv[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return a == b
+	}
+}
+
+// SyntaxError describes a YAML parse failure with source position.
+type SyntaxError struct {
+	Line int    // 1-based line number
+	Col  int    // 1-based column number
+	Msg  string // human-readable description
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("yaml: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func syntaxErrorf(line, col int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

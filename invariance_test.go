@@ -1,0 +1,97 @@
+package configvalidator
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"configvalidator/internal/entity"
+	"configvalidator/internal/fixtures"
+)
+
+// TestNormalizationInvariance is a metamorphic test of the paper's central
+// architectural claim: rules evaluate against *normalized* configuration,
+// so semantically neutral formatting changes — comments, blank lines,
+// horizontal whitespace — must not change any verdict.
+func TestNormalizationInvariance(t *testing.T) {
+	v, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2017))
+	for iter := 0; iter < 10; iter++ {
+		host, _ := fixtures.SystemHost("inv", fixtures.Profile{Seed: int64(iter), MisconfigRate: 0.4})
+		baseline, err := v.Validate(host)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		mangled := entity.NewMem("inv", entity.TypeHost)
+		for _, path := range host.Files() {
+			content, readErr := host.ReadFile(path)
+			if readErr != nil {
+				t.Fatal(readErr)
+			}
+			fi, statErr := host.Stat(path)
+			if statErr != nil {
+				t.Fatal(statErr)
+			}
+			mangled.AddFile(path, []byte(mangle(r, string(content))),
+				entity.WithMode(fi.Mode), entity.WithOwner(fi.UID, fi.GID))
+		}
+		db, err := host.Packages()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mangled.SetPackages(db.All())
+		for _, f := range host.Features() {
+			out, featErr := host.RunFeature(f)
+			if featErr != nil {
+				t.Fatal(featErr)
+			}
+			mangled.SetFeature(f, out)
+		}
+
+		after, err := v.Validate(mangled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(baseline.Results) != len(after.Results) {
+			t.Fatalf("iter %d: result counts differ: %d vs %d", iter, len(baseline.Results), len(after.Results))
+		}
+		for i := range baseline.Results {
+			b, a := baseline.Results[i], after.Results[i]
+			if b.Status != a.Status || ruleName(b) != ruleName(a) {
+				t.Errorf("iter %d: verdict changed under reformatting: %s %v -> %s %v (%s)",
+					iter, ruleName(b), b.Status, ruleName(a), a.Status, a.Detail)
+			}
+		}
+	}
+}
+
+// mangle applies semantically neutral edits: comment lines, blank lines,
+// and horizontal-whitespace padding around simple key/value separators.
+// It never touches line content itself beyond leading/trailing space on
+// formats where that is neutral.
+func mangle(r *rand.Rand, content string) string {
+	lines := strings.Split(content, "\n")
+	var out []string
+	for _, line := range lines {
+		// Random comment/blank insertions between lines.
+		switch r.Intn(4) {
+		case 0:
+			out = append(out, "# injected comment "+strings.Repeat("x", r.Intn(5)))
+		case 1:
+			out = append(out, "")
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+func ruleName(r *Result) string {
+	if r.Rule == nil {
+		return "(parse:" + r.File + ")"
+	}
+	return r.Rule.Name
+}

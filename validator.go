@@ -1,0 +1,222 @@
+// Package configvalidator is a declarative configuration-validation system
+// for applications, systems, and cloud — a reproduction of ConfigValidator
+// (Baset et al., Middleware Industry '17). Rules are written in the
+// Configuration Validation Language (CVL), a YAML-based declarative
+// language with five rule types (config tree, schema, path, script,
+// composite), and are applied uniformly across heterogeneous entities:
+// hosts, Docker images, running containers, cloud runtimes, and offline
+// configuration frames.
+//
+// The top-level Validator wires the pipeline of the paper's Figure 1:
+// config extraction (crawler) → data normalization (lenses) → rule engine →
+// output processing.
+//
+//	v, err := configvalidator.New()                  // built-in 135-rule library
+//	report, err := v.Validate(entityToScan)
+//	configvalidator.WriteText(os.Stdout, report, configvalidator.OutputOptions{})
+package configvalidator
+
+import (
+	"fmt"
+	"io"
+
+	"configvalidator/internal/crawler"
+	"configvalidator/internal/cvl"
+	"configvalidator/internal/engine"
+	"configvalidator/internal/entity"
+	"configvalidator/internal/lens"
+	"configvalidator/internal/output"
+	"configvalidator/internal/remediate"
+	"configvalidator/internal/rules"
+)
+
+// Re-exported core types, so typical use needs only this package.
+type (
+	// Entity is a validation target: host, image, container, cloud, frame.
+	Entity = entity.Entity
+	// Report aggregates all rule results for one entity.
+	Report = engine.Report
+	// Result is one rule outcome.
+	Result = engine.Result
+	// Status is a rule outcome status (pass/fail/N-A/error).
+	Status = engine.Status
+	// Rule is a parsed CVL rule.
+	Rule = cvl.Rule
+	// Manifest describes which entities to validate with which rule files.
+	Manifest = cvl.Manifest
+	// FileReader resolves rule-file paths to content.
+	FileReader = cvl.FileReader
+	// OutputOptions control report rendering.
+	OutputOptions = output.Options
+)
+
+// Status values, re-exported.
+const (
+	StatusPass          = engine.StatusPass
+	StatusFail          = engine.StatusFail
+	StatusNotApplicable = engine.StatusNotApplicable
+	StatusError         = engine.StatusError
+)
+
+// Validator is the configured validation pipeline. Rule files resolve
+// through a shared memoizing source, so repeated scans (fleets, watchers)
+// parse the rule library once.
+type Validator struct {
+	manifest *cvl.Manifest
+	reader   cvl.FileReader
+	source   *engine.CachedSource
+	engine   *engine.Engine
+}
+
+// Option customizes a Validator.
+type Option func(*config)
+
+type config struct {
+	manifest *cvl.Manifest
+	reader   cvl.FileReader
+	registry *lens.Registry
+	crawlOpt crawler.Options
+	extended bool
+}
+
+// WithManifest uses a custom manifest and rule-file reader instead of the
+// built-in rule library.
+func WithManifest(m *cvl.Manifest, reader cvl.FileReader) Option {
+	return func(c *config) {
+		c.manifest = m
+		c.reader = reader
+	}
+}
+
+// WithExtendedRules selects the built-in library plus the extended rule
+// pack (passwd, group, limits, cron — 147 rules over 15 targets), the
+// post-paper expansion described in DESIGN.md.
+func WithExtendedRules() Option {
+	return func(c *config) { c.extended = true }
+}
+
+// WithLensRegistry replaces the default lens registry.
+func WithLensRegistry(r *lens.Registry) Option {
+	return func(c *config) { c.registry = r }
+}
+
+// WithCrawlerOptions tunes configuration extraction.
+func WithCrawlerOptions(opts crawler.Options) Option {
+	return func(c *config) { c.crawlOpt = opts }
+}
+
+// New builds a Validator. With no options it loads the built-in rule
+// library: 135 rules across the 11 targets of the paper's Table 1.
+func New(opts ...Option) (*Validator, error) {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.manifest == nil {
+		var (
+			m   *cvl.Manifest
+			err error
+		)
+		if c.extended {
+			m, err = rules.ExtendedManifest()
+			c.reader = rules.ExtendedReader()
+		} else {
+			m, err = rules.Manifest()
+			c.reader = rules.Reader()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("configvalidator: built-in manifest: %w", err)
+		}
+		c.manifest = m
+	}
+	if c.reader == nil {
+		return nil, fmt.Errorf("configvalidator: a manifest requires a rule-file reader")
+	}
+	eng := engine.New(crawler.New(c.registry, c.crawlOpt))
+	return &Validator{
+		manifest: c.manifest,
+		reader:   c.reader,
+		source:   engine.NewCachedSource(c.reader),
+		engine:   eng,
+	}, nil
+}
+
+// Validate runs every enabled manifest entry (including composite rules)
+// against the entity.
+func (v *Validator) Validate(e Entity) (*Report, error) {
+	return v.engine.ValidateWithSource(e, v.manifest, v.source)
+}
+
+// ValidateTarget runs only the named manifest entity (e.g. "sshd").
+func (v *Validator) ValidateTarget(e Entity, target string) (*Report, error) {
+	entry, ok := v.manifest.Entry(target)
+	if !ok {
+		return nil, fmt.Errorf("configvalidator: manifest has no entity %q", target)
+	}
+	sub := &cvl.Manifest{Entries: []*cvl.ManifestEntry{entry}}
+	return v.engine.ValidateWithSource(e, sub, v.source)
+}
+
+// ValidateRules applies an explicit rule list with explicit search paths —
+// no manifest, no composite rules.
+func (v *Validator) ValidateRules(e Entity, ruleList []*Rule, searchPaths []string) (*Report, error) {
+	return v.engine.ValidateRules(e, ruleList, searchPaths)
+}
+
+// Targets lists the built-in target names (Table 1).
+func Targets() []string {
+	ts := rules.Targets()
+	names := make([]string, len(ts))
+	for i, t := range ts {
+		names[i] = t.Name
+	}
+	return names
+}
+
+// LoadRules resolves a rule file (with inheritance) through the reader.
+func LoadRules(reader FileReader, path string) ([]*Rule, error) {
+	return cvl.ResolveRules(reader, path)
+}
+
+// BuiltinRules loads the built-in rules for one target.
+func BuiltinRules(target string) ([]*Rule, error) {
+	return rules.Load(target)
+}
+
+// WithRuntimePlugins wraps an entity with the built-in crawler feature
+// plugins, which synthesize runtime state (mysql.ssl, sysctl.runtime) from
+// configuration files when the entity cannot answer live queries — the
+// paper's application-specific crawler plugins. Native features always win.
+func WithRuntimePlugins(e Entity) Entity {
+	return crawler.WithPlugins(e, crawler.DefaultPlugins()...)
+}
+
+// Proposal is a suggested configuration edit for a failing check.
+type Proposal = remediate.Proposal
+
+// ProposeFixes builds remediation proposals for every remediable failure
+// in the report. Only config-tree rules with an unambiguous preferred
+// value and a write-back-capable lens produce proposals.
+func (v *Validator) ProposeFixes(e Entity, rep *Report) []*Proposal {
+	return remediate.New(nil).ProposeAll(e, rep)
+}
+
+// WriteText renders a report as human-readable text.
+func WriteText(w io.Writer, rep *Report, opts OutputOptions) error {
+	return output.WriteText(w, rep, opts)
+}
+
+// WriteJSON renders a report as JSON.
+func WriteJSON(w io.Writer, rep *Report, opts OutputOptions) error {
+	return output.WriteJSON(w, rep, opts)
+}
+
+// WriteJUnit renders a report as JUnit XML, for CI-pipeline integration.
+func WriteJUnit(w io.Writer, rep *Report, opts OutputOptions) error {
+	return output.WriteJUnit(w, rep, opts)
+}
+
+// WriteComplianceSummary renders a per-tag pass/fail table across reports.
+func WriteComplianceSummary(w io.Writer, reports []*Report) error {
+	return output.WriteComplianceSummary(w, reports)
+}
