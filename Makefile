@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test vet race ci bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full gate: what CI runs on every change.
+ci: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

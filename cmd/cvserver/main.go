@@ -6,6 +6,9 @@
 //	cvserver -addr :8080
 //	crawlframe -demo host -out host.frame
 //	curl --data-binary @host.frame http://localhost:8080/v1/validate/frame
+//	curl http://localhost:8080/metrics        # scan + HTTP runtime metrics
+//
+// Uploads beyond -max-upload bytes are rejected with HTTP 413.
 package main
 
 import (
@@ -32,13 +35,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cvserver", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	maxUpload := fs.Int64("max-upload", server.MaxFrameBytes, "largest accepted frame/tar body in bytes (oversized uploads get HTTP 413)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *maxUpload <= 0 {
+		return fmt.Errorf("-max-upload must be positive")
 	}
 	s, err := server.New(nil)
 	if err != nil {
 		return err
 	}
+	s.MaxUploadBytes = *maxUpload
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
@@ -51,7 +59,7 @@ func run(args []string) error {
 	go func() {
 		errCh <- httpServer.ListenAndServe()
 	}()
-	fmt.Fprintf(os.Stderr, "cvserver listening on %s\n", *addr)
+	fmt.Fprintf(os.Stderr, "cvserver listening on %s (metrics at /metrics)\n", *addr)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -14,3 +14,12 @@ func TestBadListenAddress(t *testing.T) {
 		t.Error("unbindable address accepted")
 	}
 }
+
+func TestBadMaxUpload(t *testing.T) {
+	if err := run([]string{"-max-upload", "0"}); err == nil {
+		t.Error("zero upload limit accepted")
+	}
+	if err := run([]string{"-max-upload", "-5"}); err == nil {
+		t.Error("negative upload limit accepted")
+	}
+}

@@ -6,13 +6,20 @@
 //
 //	cvwatch -host / -interval 1h
 //	cvwatch -frame latest.frame -interval 10m    # re-reads the file each tick
+//	cvwatch -host / -metrics-addr :9100          # Prometheus metrics sidecar
+//
+// Each scan appends a one-line telemetry progress digest to stderr; with
+// -metrics-addr the same counters are served at GET /metrics.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -27,19 +34,20 @@ import (
 func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
-	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "cvwatch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("cvwatch", flag.ContinueOnError)
 	var (
-		hostDir   = fs.String("host", "", "watch the filesystem rooted at this directory")
-		frameFile = fs.String("frame", "", "watch a frame file (re-read each tick)")
-		interval  = fs.Duration("interval", time.Hour, "scan interval")
-		maxScans  = fs.Int("max-scans", 0, "stop after N scans (0 = run until interrupted)")
+		hostDir     = fs.String("host", "", "watch the filesystem rooted at this directory")
+		frameFile   = fs.String("frame", "", "watch a frame file (re-read each tick)")
+		interval    = fs.Duration("interval", time.Hour, "scan interval")
+		maxScans    = fs.Int("max-scans", 0, "stop after N scans (0 = run until interrupted)")
+		metricsAddr = fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,9 +58,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *interval <= 0 {
 		return fmt.Errorf("interval must be positive")
 	}
-	v, err := configvalidator.New()
+	collector := configvalidator.NewCollector()
+	v, err := configvalidator.New(configvalidator.WithTelemetry(collector))
 	if err != nil {
 		return err
+	}
+	if *metricsAddr != "" {
+		shutdown, err := serveMetrics(*metricsAddr, collector, errOut)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
 	}
 	load := func() (configvalidator.Entity, error) {
 		if *hostDir != "" {
@@ -94,6 +110,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			counts[configvalidator.StatusPass],
 			counts[configvalidator.StatusFail],
 			counts[configvalidator.StatusNotApplicable])
+		fmt.Fprintf(errOut, "cvwatch progress: %s\n", collector.Snapshot())
 		if previous != nil {
 			drift := output.DiffReports(previous, report)
 			if !drift.Empty() {
@@ -113,4 +130,30 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		case <-ticker.C:
 		}
 	}
+}
+
+// serveMetrics exposes the collector at GET /metrics on addr and returns a
+// shutdown function.
+func serveMetrics(addr string, collector *configvalidator.Collector, errOut io.Writer) (func(), error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = collector.WritePrometheus(w)
+	})
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	fmt.Fprintf(errOut, "cvwatch metrics on http://%s/metrics\n", ln.Addr())
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(errOut, "cvwatch: metrics server: %v\n", err)
+		}
+	}()
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}, nil
 }

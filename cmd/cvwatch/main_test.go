@@ -3,9 +3,13 @@ package main
 import (
 	"bytes"
 	"context"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -42,10 +46,10 @@ func TestWatchDetectsDriftBetweenScans(t *testing.T) {
 		writeFrameFile(t, path, 1, 1)
 	}()
 
-	var out bytes.Buffer
+	var out, errOut bytes.Buffer
 	err := run(context.Background(), []string{
 		"-frame", path, "-interval", "300ms", "-max-scans", "2",
-	}, &out)
+	}, &out, &errOut)
 	<-done
 	if err != nil {
 		t.Fatal(err)
@@ -62,8 +66,8 @@ func TestWatchDetectsDriftBetweenScans(t *testing.T) {
 func TestWatchStableFrameNoDrift(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "stable.frame")
 	writeFrameFile(t, path, 0.5, 2)
-	var out bytes.Buffer
-	err := run(context.Background(), []string{"-frame", path, "-interval", "50ms", "-max-scans", "3"}, &out)
+	var out, errOut bytes.Buffer
+	err := run(context.Background(), []string{"-frame", path, "-interval", "50ms", "-max-scans", "3"}, &out, &errOut)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,10 +80,10 @@ func TestWatchCancellation(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "c.frame")
 	writeFrameFile(t, path, 0, 3)
 	ctx, cancel := context.WithCancel(context.Background())
-	var out bytes.Buffer
+	var out, errOut bytes.Buffer
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- run(ctx, []string{"-frame", path, "-interval", "1h"}, &out)
+		errCh <- run(ctx, []string{"-frame", path, "-interval", "1h"}, &out, &errOut)
 	}()
 	time.Sleep(200 * time.Millisecond)
 	cancel()
@@ -97,15 +101,114 @@ func TestWatchCancellation(t *testing.T) {
 }
 
 func TestWatchFlagErrors(t *testing.T) {
-	var out bytes.Buffer
+	var out, errOut bytes.Buffer
 	for _, args := range [][]string{
 		nil,
 		{"-host", "/x", "-frame", "/y"},
 		{"-frame", "/z", "-interval", "-1s"},
 		{"-frame", "/no/such.frame", "-max-scans", "1"},
 	} {
-		if err := run(context.Background(), args, &out); err == nil {
+		if err := run(context.Background(), args, &out, &errOut); err == nil {
 			t.Errorf("args %v succeeded", args)
 		}
 	}
+}
+
+func TestWatchProgressLineOnStderr(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.frame")
+	writeFrameFile(t, path, 0.5, 4)
+	var out, errOut bytes.Buffer
+	err := run(context.Background(), []string{"-frame", path, "-interval", "50ms", "-max-scans", "2"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := errOut.String()
+	if strings.Count(text, "cvwatch progress:") != 2 {
+		t.Fatalf("want one progress line per scan on stderr, got:\n%s", text)
+	}
+	if !strings.Contains(text, "scans=2") {
+		t.Errorf("progress line missing scan count:\n%s", text)
+	}
+	if strings.Contains(out.String(), "cvwatch progress:") {
+		t.Error("progress lines leaked onto stdout")
+	}
+}
+
+func TestWatchMetricsEndpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.frame")
+	writeFrameFile(t, path, 0, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errOut syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{
+			"-frame", path, "-interval", "1h", "-metrics-addr", "127.0.0.1:0",
+		}, &out, &errOut)
+	}()
+
+	// Wait for the announced listener address, then scrape it mid-run.
+	re := regexp.MustCompile(`http://([0-9.:]+)/metrics`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics address never announced:\n%s", errOut.String())
+		}
+		if m := re.FindStringSubmatch(errOut.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	var body string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		body = string(raw)
+		if strings.Contains(body, "configvalidator_scans_total 1") {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(body, "configvalidator_scans_total 1") {
+		t.Errorf("metrics missing scan counter:\n%s", body)
+	}
+	if !strings.Contains(body, "configvalidator_scan_duration_seconds_count 1") {
+		t.Errorf("metrics missing latency histogram:\n%s", body)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher did not stop")
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the watcher goroutine
+// writes while the test polls.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }

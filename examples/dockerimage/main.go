@@ -22,7 +22,8 @@ import (
 )
 
 func main() {
-	v, err := configvalidator.New()
+	collector := configvalidator.NewCollector()
+	v, err := configvalidator.New(configvalidator.WithTelemetry(collector))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,6 +84,8 @@ func main() {
 	if err := configvalidator.WriteComplianceSummary(os.Stdout, reports); err != nil {
 		log.Fatal(err)
 	}
+
+	fmt.Printf("\nEnd-of-run telemetry: %s\n", collector.Snapshot())
 }
 
 const hardenedNginx = `user www-data;

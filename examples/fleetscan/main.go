@@ -1,0 +1,110 @@
+// Fleet scanning with the robustness + observability layer: the paper's
+// production workload (§5, "tens of thousands of containers and images
+// daily") run the way an operator actually has to run it — with panic
+// isolation, per-scan deadlines, retry of transient failures, and a
+// telemetry collector reporting what happened.
+//
+// The fleet deliberately includes two pathological entities: one whose
+// crawl panics and one that hangs past the scan deadline. The run still
+// completes, both surface as per-entity errors, and the end-of-run stats
+// account for every outcome.
+//
+//	go run ./examples/fleetscan
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	configvalidator "configvalidator"
+	"configvalidator/internal/entity"
+	"configvalidator/internal/fixtures"
+)
+
+// panicky simulates an entity that crashes the crawler — a malformed
+// image that would have killed the whole fleet run before panic isolation.
+type panicky struct {
+	*entity.Mem
+}
+
+func (p *panicky) Walk(root string, fn func(entity.FileInfo) error) error {
+	panic("malformed layer metadata")
+}
+
+// hung simulates an entity whose crawl never returns — a wedged registry
+// connection. The scan deadline abandons it.
+type hung struct {
+	*entity.Mem
+}
+
+func (h *hung) Walk(root string, fn func(entity.FileInfo) error) error {
+	select {} // block forever
+}
+
+func main() {
+	collector := configvalidator.NewCollector()
+	v, err := configvalidator.New(configvalidator.WithTelemetry(collector))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A healthy generated fleet, plus the two pathological entities.
+	reg, _ := fixtures.Fleet(8, fixtures.Profile{Seed: 2017, MisconfigRate: 0.4})
+	entities := make(chan configvalidator.Entity)
+	go func() {
+		defer close(entities)
+		for _, ref := range reg.Images() {
+			img, err := reg.Pull(ref)
+			if err != nil {
+				continue
+			}
+			entities <- img.Entity()
+		}
+		entities <- &panicky{Mem: entity.NewMem("broken-image:v1", entity.TypeImage)}
+		entities <- &hung{Mem: entity.NewMem("wedged-image:v1", entity.TypeImage)}
+	}()
+
+	results := v.ValidateFleet(context.Background(), entities, configvalidator.FleetOptions{
+		Workers:     4,
+		ScanTimeout: 500 * time.Millisecond,
+		Retries:     2,
+	})
+
+	// Drain once, keeping the error lines; replay into Summarize.
+	var errors []string
+	var drained []configvalidator.FleetResult
+	for res := range results {
+		if res.Err != nil {
+			line := res.Err.Error()
+			if i := strings.IndexByte(line, '\n'); i > 0 {
+				line = line[:i] + " [stack elided]"
+			}
+			errors = append(errors, line)
+		}
+		drained = append(drained, res)
+	}
+	replay := make(chan configvalidator.FleetResult, len(drained))
+	for _, res := range drained {
+		replay <- res
+	}
+	close(replay)
+	summary := configvalidator.Summarize(replay)
+
+	fmt.Println("Per-entity scan failures (isolated, fleet run completed):")
+	for _, e := range errors {
+		fmt.Printf("  - %s\n", e)
+	}
+
+	fmt.Println("\nFleet summary:")
+	fmt.Printf("  %s\n", summary)
+
+	s := collector.Snapshot()
+	fmt.Println("\nEnd-of-run telemetry:")
+	fmt.Printf("  %s\n", s)
+	fmt.Println("\nPrometheus rendering (what GET /metrics serves):")
+	_ = collector.WritePrometheus(os.Stdout)
+}

@@ -2,16 +2,28 @@ package configvalidator
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
+
+	"configvalidator/internal/engine"
 )
+
+// ErrScanTimeout marks a scan abandoned at its per-entity deadline
+// (FleetOptions.ScanTimeout). It wraps context.DeadlineExceeded, so it
+// classifies as Transient and is retried under FleetOptions.Retries.
+var ErrScanTimeout = fmt.Errorf("scan deadline exceeded: %w", context.DeadlineExceeded)
 
 // FleetResult is the outcome of validating one entity of a fleet.
 type FleetResult struct {
 	// Report is the validation report; nil when Err is set.
 	Report *Report
-	// Err records a scan failure for this entity.
+	// Err records a scan failure for this entity: the final validation
+	// error after retries, ErrScanTimeout for a scan abandoned at its
+	// deadline, or a *PanicError for a scan that panicked.
 	Err error
 }
 
@@ -22,7 +34,26 @@ type FleetOptions struct {
 	// Target restricts validation to one manifest entity (e.g. "docker");
 	// empty runs the full manifest.
 	Target string
+	// ScanTimeout bounds each per-entity scan attempt; 0 means no
+	// deadline. An attempt that exceeds it is abandoned and reported as
+	// ErrScanTimeout (the abandoned goroutine is left to finish on its
+	// own — entities cannot be preempted mid-crawl — so a truly hung
+	// entity costs one parked goroutine, not a stuck worker).
+	ScanTimeout time.Duration
+	// Retries is the number of extra attempts allowed per entity when the
+	// scan fails with a Transient error (timeouts, marked-transient
+	// crawler failures). Permanent errors are never retried.
+	Retries int
+	// RetryBackoff is the delay before the first retry, doubled after
+	// each subsequent transient failure and capped at 5s; 0 means 50ms.
+	// Backoff waits honor context cancellation.
+	RetryBackoff time.Duration
 }
+
+const (
+	defaultRetryBackoff = 50 * time.Millisecond
+	maxRetryBackoff     = 5 * time.Second
+)
 
 // ValidateFleet validates a stream of entities concurrently — the
 // production workload of the paper's §5, where tens of thousands of images
@@ -30,6 +61,12 @@ type FleetOptions struct {
 // channel until it closes or ctx is cancelled; one FleetResult per entity
 // is sent on the returned channel, which is closed after all workers
 // finish. Result order is not guaranteed.
+//
+// Workers are isolated: a panicking entity surfaces as a FleetResult.Err
+// carrying the stack (*PanicError) rather than crashing the run, scans are
+// bounded by opts.ScanTimeout, and transient failures are retried per
+// opts.Retries. With a telemetry collector attached (WithTelemetry), every
+// outcome — including panics, timeouts, and retries — is recorded.
 func (v *Validator) ValidateFleet(ctx context.Context, entities <-chan Entity, opts FleetOptions) <-chan FleetResult {
 	workers := opts.Workers
 	if workers <= 0 {
@@ -49,7 +86,7 @@ func (v *Validator) ValidateFleet(ctx context.Context, entities <-chan Entity, o
 					if !ok {
 						return
 					}
-					res := v.scanOne(ent, opts.Target)
+					res := v.scanOne(ctx, ent, opts)
 					select {
 					case results <- res:
 					case <-ctx.Done():
@@ -66,20 +103,88 @@ func (v *Validator) ValidateFleet(ctx context.Context, entities <-chan Entity, o
 	return results
 }
 
-func (v *Validator) scanOne(ent Entity, target string) FleetResult {
-	var (
+// scanOne validates one entity under the fleet's robustness policy:
+// per-attempt deadline, panic isolation, and bounded retry with
+// exponential backoff for transient failures.
+func (v *Validator) scanOne(ctx context.Context, ent Entity, opts FleetOptions) FleetResult {
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		rep, err := v.scanAttempt(ctx, ent, opts.Target, opts.ScanTimeout)
+		if err == nil {
+			return FleetResult{Report: rep}
+		}
+		lastErr = err
+		if attempt >= opts.Retries || !Transient(err) || ctx.Err() != nil {
+			break
+		}
+		v.telemetry.RetryScheduled()
+		select {
+		case <-ctx.Done():
+			return FleetResult{Err: fmt.Errorf("scan %s: %w", ent.Name(), ctx.Err())}
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxRetryBackoff {
+			backoff = maxRetryBackoff
+		}
+	}
+	return FleetResult{Err: fmt.Errorf("scan %s: %w", ent.Name(), lastErr)}
+}
+
+// scanAttempt runs a single validation attempt with panic recovery and an
+// optional deadline. Without a deadline (and with an uncancellable
+// context) it runs inline; otherwise the validation runs in a goroutine
+// that is abandoned if the deadline fires first.
+func (v *Validator) scanAttempt(ctx context.Context, ent Entity, target string, timeout time.Duration) (*Report, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if ctx.Done() == nil {
+		return v.safeValidate(ent, target)
+	}
+	start := time.Now()
+	type outcome struct {
 		rep *Report
 		err error
-	)
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		rep, err := v.safeValidate(ent, target)
+		done <- outcome{rep: rep, err: err}
+	}()
+	select {
+	case out := <-done:
+		return out.rep, out.err
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			v.telemetry.ScanTimedOut(time.Since(start))
+			return nil, fmt.Errorf("%w (after %v)", ErrScanTimeout, timeout)
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// safeValidate is one validation attempt with panic isolation: a panic in
+// a crawler, lens, or rule evaluation becomes a *PanicError carrying the
+// stack instead of killing the fleet run.
+func (v *Validator) safeValidate(ent Entity, target string) (rep *Report, err error) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			v.telemetry.ScanPanicked(time.Since(start))
+			rep = nil
+			err = &engine.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
 	if target != "" {
-		rep, err = v.ValidateTarget(ent, target)
-	} else {
-		rep, err = v.Validate(ent)
+		return v.ValidateTarget(ent, target)
 	}
-	if err != nil {
-		return FleetResult{Err: fmt.Errorf("scan %s: %w", ent.Name(), err)}
-	}
-	return FleetResult{Report: rep}
+	return v.Validate(ent)
 }
 
 // FleetSummary aggregates fleet results.
@@ -92,6 +197,10 @@ type FleetSummary struct {
 	ByStatus map[Status]int
 	// EntitiesWithFindings counts entities with at least one failing check.
 	EntitiesWithFindings int
+	// EntitiesWithErrors counts entities with at least one error-grade
+	// rule result (crawler or lens blowups that did not abort the scan).
+	// Such an entity is not a clean scan even when nothing failed.
+	EntitiesWithErrors int
 }
 
 // Summarize drains a fleet-result channel into a summary.
@@ -110,6 +219,18 @@ func Summarize(results <-chan FleetResult) FleetSummary {
 		if counts[StatusFail] > 0 {
 			out.EntitiesWithFindings++
 		}
+		if counts[StatusError] > 0 {
+			out.EntitiesWithErrors++
+		}
 	}
 	return out
+}
+
+// String renders the summary as a one-line operator digest.
+func (s FleetSummary) String() string {
+	return fmt.Sprintf(
+		"scanned=%d errors=%d entities_with_findings=%d entities_with_errors=%d pass=%d fail=%d n/a=%d rule_errors=%d",
+		s.Scanned, s.Errors, s.EntitiesWithFindings, s.EntitiesWithErrors,
+		s.ByStatus[StatusPass], s.ByStatus[StatusFail],
+		s.ByStatus[StatusNotApplicable], s.ByStatus[StatusError])
 }

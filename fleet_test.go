@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -155,6 +157,348 @@ func TestSummarizeErrors(t *testing.T) {
 	s := Summarize(ch)
 	if s.Errors != 1 || s.Scanned != 1 {
 		t.Fatalf("summary = %+v", s)
+	}
+}
+
+// panicEntity panics as soon as validation crawls it.
+type panicEntity struct {
+	*entity.Mem
+}
+
+func (p *panicEntity) Walk(root string, fn func(entity.FileInfo) error) error {
+	panic("entity exploded mid-crawl")
+}
+
+// hangEntity blocks every crawl until release is closed.
+type hangEntity struct {
+	*entity.Mem
+	release chan struct{}
+}
+
+func (h *hangEntity) Walk(root string, fn func(entity.FileInfo) error) error {
+	<-h.release
+	return h.Mem.Walk(root, fn)
+}
+
+// flakyEntity fails its first failures crawls with a transient error,
+// then behaves normally.
+type flakyEntity struct {
+	*entity.Mem
+	mu       sync.Mutex
+	failures int
+}
+
+func (f *flakyEntity) Walk(root string, fn func(entity.FileInfo) error) error {
+	f.mu.Lock()
+	shouldFail := f.failures > 0
+	if shouldFail {
+		f.failures--
+	}
+	f.mu.Unlock()
+	if shouldFail {
+		return MarkTransient(errors.New("registry momentarily unavailable"))
+	}
+	return f.Mem.Walk(root, fn)
+}
+
+// permFailEntity always fails with a permanent (non-transient) error.
+type permFailEntity struct {
+	*entity.Mem
+}
+
+func (p *permFailEntity) Walk(root string, fn func(entity.FileInfo) error) error {
+	return errors.New("corrupt layer")
+}
+
+func sendEntities(ents ...Entity) <-chan Entity {
+	ch := make(chan Entity, len(ents))
+	for _, e := range ents {
+		ch <- e
+	}
+	close(ch)
+	return ch
+}
+
+// TestValidateFleetPanicIsolation is the regression for the pre-recovery
+// behavior where a panicking worker killed the process (or, had the panic
+// been swallowed, left Summarize deadlocked in its for-range): the results
+// channel must still close, and the panic must surface as a per-entity
+// error carrying the stack.
+func TestValidateFleetPanicIsolation(t *testing.T) {
+	v, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := entity.NewMem("ok-host", entity.TypeHost)
+	boom := &panicEntity{Mem: entity.NewMem("boom-host", entity.TypeHost)}
+	results := v.ValidateFleet(context.Background(), sendEntities(ok, boom), FleetOptions{Workers: 2})
+
+	drained := make(chan FleetSummary, 1)
+	go func() { drained <- Summarize(results) }()
+	var summary FleetSummary
+	select {
+	case summary = <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("results channel never closed after a worker panic")
+	}
+	if summary.Errors != 1 || summary.Scanned != 1 {
+		t.Fatalf("summary = %+v", summary)
+	}
+}
+
+func TestValidateFleetPanicErrCarriesStack(t *testing.T) {
+	v, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := &panicEntity{Mem: entity.NewMem("boom-host", entity.TypeHost)}
+	results := v.ValidateFleet(context.Background(), sendEntities(boom), FleetOptions{Workers: 1})
+	res, open := <-results
+	if !open {
+		t.Fatal("no result for panicking entity")
+	}
+	if res.Err == nil {
+		t.Fatal("panic did not surface as FleetResult.Err")
+	}
+	var pe *PanicError
+	if !errors.As(res.Err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", res.Err)
+	}
+	if pe.Value != "entity exploded mid-crawl" || len(pe.Stack) == 0 {
+		t.Fatalf("panic value = %v, stack len = %d", pe.Value, len(pe.Stack))
+	}
+	if Transient(res.Err) {
+		t.Error("panic classified transient; it would be retried")
+	}
+	if _, open := <-results; open {
+		t.Fatal("channel not closed")
+	}
+}
+
+func TestValidateFleetScanTimeout(t *testing.T) {
+	v, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	defer close(release) // let the abandoned goroutine finish
+	hung := &hangEntity{Mem: entity.NewMem("hung-host", entity.TypeHost), release: release}
+	ok := entity.NewMem("ok-host", entity.TypeHost)
+
+	start := time.Now()
+	results := v.ValidateFleet(context.Background(), sendEntities(hung, ok),
+		FleetOptions{Workers: 2, ScanTimeout: 100 * time.Millisecond})
+	var timeoutErr error
+	scanned := 0
+	for res := range results {
+		if res.Err != nil {
+			timeoutErr = res.Err
+		} else {
+			scanned++
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("fleet run took %v; hung entity stalled the pool", elapsed)
+	}
+	if scanned != 1 {
+		t.Fatalf("scanned = %d, want 1", scanned)
+	}
+	if timeoutErr == nil || !errors.Is(timeoutErr, ErrScanTimeout) {
+		t.Fatalf("err = %v, want ErrScanTimeout", timeoutErr)
+	}
+	if !Transient(timeoutErr) {
+		t.Error("timeout should classify transient")
+	}
+}
+
+func TestValidateFleetRetryThenSucceed(t *testing.T) {
+	collector := NewCollector()
+	v, err := New(WithTelemetry(collector))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyEntity{Mem: entity.NewMem("flaky-host", entity.TypeHost)}
+	flaky.failures = 2
+	results := v.ValidateFleet(context.Background(), sendEntities(flaky),
+		FleetOptions{Workers: 1, Retries: 3, RetryBackoff: time.Millisecond})
+	res := <-results
+	if res.Err != nil {
+		t.Fatalf("scan failed despite retries: %v", res.Err)
+	}
+	if res.Report == nil || res.Report.EntityName != "flaky-host" {
+		t.Fatalf("report = %+v", res.Report)
+	}
+	if got := collector.Snapshot().Retries; got != 2 {
+		t.Errorf("retries recorded = %d, want 2", got)
+	}
+}
+
+func TestValidateFleetRetriesExhausted(t *testing.T) {
+	v, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyEntity{Mem: entity.NewMem("flaky-host", entity.TypeHost)}
+	flaky.failures = 100
+	results := v.ValidateFleet(context.Background(), sendEntities(flaky),
+		FleetOptions{Workers: 1, Retries: 2, RetryBackoff: time.Millisecond})
+	res := <-results
+	if res.Err == nil {
+		t.Fatal("want error after exhausting retries")
+	}
+	flaky.mu.Lock()
+	remaining := flaky.failures
+	flaky.mu.Unlock()
+	if got := 100 - remaining; got != 3 {
+		t.Errorf("attempts = %d, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestValidateFleetNoRetryOnPermanentError(t *testing.T) {
+	v, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := &permFailEntity{Mem: entity.NewMem("perm-host", entity.TypeHost)}
+	start := time.Now()
+	results := v.ValidateFleet(context.Background(), sendEntities(perm),
+		FleetOptions{Workers: 1, Retries: 5, RetryBackoff: 200 * time.Millisecond})
+	res := <-results
+	if res.Err == nil {
+		t.Fatal("want error")
+	}
+	// Five retries at 200ms+ backoff would take > 1s; a permanent error
+	// must fail fast without any backoff waits.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("permanent error took %v; was it retried?", elapsed)
+	}
+}
+
+// TestValidateFleetMixedPathologies is the acceptance scenario: a fleet
+// containing one panicking and one hanging entity completes, reports both
+// as per-entity errors, closes the results channel, and records non-zero
+// scan/latency/error telemetry.
+func TestValidateFleetMixedPathologies(t *testing.T) {
+	collector := NewCollector()
+	v, err := New(WithTelemetry(collector))
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	defer close(release)
+	ents := sendEntities(
+		entity.NewMem("ok-1", entity.TypeHost),
+		&panicEntity{Mem: entity.NewMem("boom", entity.TypeHost)},
+		&hangEntity{Mem: entity.NewMem("hung", entity.TypeHost), release: release},
+		entity.NewMem("ok-2", entity.TypeHost),
+	)
+	results := v.ValidateFleet(context.Background(), ents,
+		FleetOptions{Workers: 3, ScanTimeout: 100 * time.Millisecond})
+
+	byName := map[string]error{}
+	scanned := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for res := range results {
+			if res.Err != nil {
+				byName[res.Err.Error()] = res.Err
+			} else {
+				scanned++
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("fleet run did not complete")
+	}
+	if scanned != 2 || len(byName) != 2 {
+		t.Fatalf("scanned = %d, errors = %d (%v)", scanned, len(byName), byName)
+	}
+	var sawPanic, sawTimeout bool
+	for _, err := range byName {
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			sawPanic = true
+		}
+		if errors.Is(err, ErrScanTimeout) {
+			sawTimeout = true
+		}
+	}
+	if !sawPanic || !sawTimeout {
+		t.Fatalf("sawPanic=%v sawTimeout=%v: %v", sawPanic, sawTimeout, byName)
+	}
+
+	s := collector.Snapshot()
+	if s.Scans == 0 || s.Errors == 0 || s.Panics != 1 || s.Timeouts != 1 {
+		t.Errorf("telemetry = %+v", s)
+	}
+	if s.ScanLatency.Count == 0 {
+		t.Error("no scan latencies recorded")
+	}
+}
+
+// TestValidateFleetConcurrentSharedValidator exercises the shared
+// Validator / CachedSource under several simultaneous fleet runs — the
+// configuration the race detector must stay quiet on.
+func TestValidateFleetConcurrentSharedValidator(t *testing.T) {
+	collector := NewCollector()
+	v, err := New(WithTelemetry(collector))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fleets = 3
+	const perFleet = 8
+	var wg sync.WaitGroup
+	summaries := make([]FleetSummary, fleets)
+	for i := 0; i < fleets; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results := v.ValidateFleet(context.Background(), feedFleet(t, perFleet, 0.5),
+				FleetOptions{Workers: 4, ScanTimeout: 30 * time.Second})
+			summaries[i] = Summarize(results)
+		}(i)
+	}
+	wg.Wait()
+	for i, s := range summaries {
+		if s.Scanned != perFleet || s.Errors != 0 {
+			t.Errorf("fleet %d: %+v", i, s)
+		}
+	}
+	if got := collector.Snapshot().Scans; got != fleets*perFleet {
+		t.Errorf("telemetry scans = %d, want %d", got, fleets*perFleet)
+	}
+}
+
+func TestSummarizeCountsErrorEntities(t *testing.T) {
+	ch := make(chan FleetResult, 3)
+	// An entity whose rules all blew up in the crawler/lens: no failures,
+	// but decidedly not a clean scan.
+	ch <- FleetResult{Report: &Report{Results: []*Result{
+		{Status: StatusError}, {Status: StatusError},
+	}}}
+	// A normal dirty entity.
+	ch <- FleetResult{Report: &Report{Results: []*Result{
+		{Status: StatusPass}, {Status: StatusFail},
+	}}}
+	// A clean entity.
+	ch <- FleetResult{Report: &Report{Results: []*Result{{Status: StatusPass}}}}
+	close(ch)
+	s := Summarize(ch)
+	if s.Scanned != 3 {
+		t.Fatalf("scanned = %d", s.Scanned)
+	}
+	if s.EntitiesWithErrors != 1 {
+		t.Errorf("EntitiesWithErrors = %d, want 1 (error-only entity reported clean)", s.EntitiesWithErrors)
+	}
+	if s.EntitiesWithFindings != 1 {
+		t.Errorf("EntitiesWithFindings = %d, want 1", s.EntitiesWithFindings)
+	}
+	text := s.String()
+	if !strings.Contains(text, "entities_with_errors=1") {
+		t.Errorf("summary renderer omits error entities: %s", text)
 	}
 }
 

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// transientError marks an error as retryable. See MarkTransient.
+type transientError struct {
+	err error
+}
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// MarkTransient wraps err so that Transient reports it as retryable —
+// the hook crawler plugins and entity implementations use to flag
+// failures worth retrying (a flaky registry pull, a momentarily
+// unreachable cloud API). A nil err returns nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// Transient classifies an error as likely-retryable: it was explicitly
+// marked with MarkTransient, it is a deadline expiry, or any error in its
+// chain self-reports as a timeout or temporary condition (net.Error and
+// friends). Permanent failures — unknown targets, malformed rules,
+// panics — are not transient; retrying them burns fleet throughput for
+// the same outcome, which is why the fleet retry policy consults this
+// before re-scanning (cf. ConfEx's robustness requirements for
+// cloud-scale config analysis).
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var marked *transientError
+	if errors.As(err, &marked) {
+		return true
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var timeout interface{ Timeout() bool }
+	if errors.As(err, &timeout) && timeout.Timeout() {
+		return true
+	}
+	var temporary interface{ Temporary() bool }
+	if errors.As(err, &temporary) && temporary.Temporary() {
+		return true
+	}
+	return false
+}
+
+// PanicError records a panic recovered during a scan: the recovered value
+// and the goroutine stack at the point of the panic. It is never
+// transient.
+type PanicError struct {
+	// Value is the value the scan panicked with.
+	Value any
+	// Stack is the formatted goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("scan panicked: %v\n%s", e.Value, e.Stack)
+}

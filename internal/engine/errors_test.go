@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+type fakeTimeoutErr struct{}
+
+func (fakeTimeoutErr) Error() string { return "i/o timeout" }
+func (fakeTimeoutErr) Timeout() bool { return true }
+
+type fakeTemporaryErr struct{}
+
+func (fakeTemporaryErr) Error() string   { return "connection reset" }
+func (fakeTemporaryErr) Temporary() bool { return true }
+
+func TestTransient(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain", errors.New("boom"), false},
+		{"marked", MarkTransient(errors.New("registry flake")), true},
+		{"marked and wrapped", fmt.Errorf("scan x: %w", MarkTransient(errors.New("flake"))), true},
+		{"deadline", context.DeadlineExceeded, true},
+		{"wrapped deadline", fmt.Errorf("scan: %w", context.DeadlineExceeded), true},
+		{"cancellation", context.Canceled, false},
+		{"timeout iface", fakeTimeoutErr{}, true},
+		{"temporary iface", fmt.Errorf("dial: %w", fakeTemporaryErr{}), true},
+		{"panic", &PanicError{Value: "boom"}, false},
+	}
+	for _, tc := range cases {
+		if got := Transient(tc.err); got != tc.want {
+			t.Errorf("%s: Transient(%v) = %v, want %v", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestMarkTransientNil(t *testing.T) {
+	if MarkTransient(nil) != nil {
+		t.Fatal("MarkTransient(nil) != nil")
+	}
+}
+
+func TestMarkTransientPreservesChain(t *testing.T) {
+	base := errors.New("base")
+	err := MarkTransient(fmt.Errorf("outer: %w", base))
+	if !errors.Is(err, base) {
+		t.Fatal("chain broken")
+	}
+	if err.Error() != "outer: base" {
+		t.Fatalf("message = %q", err.Error())
+	}
+}
+
+func TestPanicErrorMessage(t *testing.T) {
+	err := &PanicError{Value: "kaboom", Stack: []byte("goroutine 1 [running]:")}
+	msg := err.Error()
+	if want := "scan panicked: kaboom"; len(msg) == 0 || msg[:len(want)] != want {
+		t.Fatalf("message = %q", msg)
+	}
+}

@@ -214,6 +214,12 @@ func Read(r io.Reader) (*Frame, error) {
 		}
 		var rec record
 		if err := json.Unmarshal(line, &rec); err != nil {
+			// A stream cut off mid-line (size limit, broken connection)
+			// surfaces here as a partial final token; report the
+			// underlying read error, not a misleading parse error.
+			if rerr := scanner.Err(); rerr != nil {
+				return nil, fmt.Errorf("frames: read: %w", rerr)
+			}
 			return nil, fmt.Errorf("%w: line %d: %v", ErrBadFrame, lineNo, err)
 		}
 		switch rec.Type {

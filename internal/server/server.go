@@ -7,61 +7,122 @@
 // API:
 //
 //	GET  /healthz                 liveness
+//	GET  /metrics                 Prometheus-style runtime metrics
 //	GET  /v1/targets              built-in target list (Table 1)
 //	GET  /v1/rules/{target}       the target's CVL rule file
 //	POST /v1/validate/frame       validate a frame stream → JSON report
 //	POST /v1/validate/tar         validate a docker-export tar → JSON report
 //	POST /v1/lint                 lint a CVL rule file → diagnostics
+//
+// Upload bodies are bounded (MaxFrameBytes for frames and tars,
+// MaxLintBytes for lint input); oversized bodies are rejected with
+// HTTP 413 rather than silently truncated.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	configvalidator "configvalidator"
 	"configvalidator/internal/cvl"
 	"configvalidator/internal/entity"
 	"configvalidator/internal/frames"
 	"configvalidator/internal/rules"
+	"configvalidator/internal/telemetry"
 )
 
-// MaxFrameBytes bounds accepted frame uploads.
+// MaxFrameBytes bounds accepted frame and tar uploads. Bodies over the
+// limit get HTTP 413.
 const MaxFrameBytes = 256 << 20
+
+// MaxLintBytes bounds accepted lint uploads.
+const MaxLintBytes = 8 << 20
 
 // Server handles validation requests.
 type Server struct {
 	validator *configvalidator.Validator
+	metrics   *telemetry.Collector
+
+	// MaxUploadBytes bounds frame and tar bodies; New sets it to
+	// MaxFrameBytes. Operators may lower it before Handler is called.
+	MaxUploadBytes int64
 }
 
 // New creates a server backed by the built-in rule library, or by the
-// supplied validator when non-nil.
+// supplied validator when non-nil. A nil validator is built with a fresh
+// telemetry collector; a supplied validator's collector (WithTelemetry)
+// is reused, so scan metrics and HTTP metrics land in one place. Either
+// way /metrics is live — with an un-instrumented custom validator it
+// reports HTTP traffic only.
 func New(v *configvalidator.Validator) (*Server, error) {
 	if v == nil {
 		var err error
-		v, err = configvalidator.New()
+		v, err = configvalidator.New(configvalidator.WithTelemetry(configvalidator.NewCollector()))
 		if err != nil {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
-	return &Server{validator: v}, nil
+	m := v.Telemetry()
+	if m == nil {
+		m = telemetry.NewCollector()
+	}
+	return &Server{validator: v, metrics: m, MaxUploadBytes: MaxFrameBytes}, nil
 }
 
-// Handler returns the HTTP routes.
+// Metrics returns the server's telemetry collector.
+func (s *Server) Metrics() *telemetry.Collector { return s.metrics }
+
+// Handler returns the HTTP routes, each wrapped in per-request
+// instrumentation (request count and latency by route and status code,
+// exposed at /metrics).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, h))
+	}
+	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = io.WriteString(w, "ok\n")
 	})
-	mux.HandleFunc("GET /v1/targets", s.handleTargets)
-	mux.HandleFunc("GET /v1/rules/{target}", s.handleRules)
-	mux.HandleFunc("POST /v1/validate/frame", s.handleValidateFrame)
-	mux.HandleFunc("POST /v1/validate/tar", s.handleValidateTar)
-	mux.HandleFunc("POST /v1/lint", s.handleLint)
+	handle("GET /metrics", s.handleMetrics)
+	handle("GET /v1/targets", s.handleTargets)
+	handle("GET /v1/rules/{target}", s.handleRules)
+	handle("POST /v1/validate/frame", s.handleValidateFrame)
+	handle("POST /v1/validate/tar", s.handleValidateTar)
+	handle("POST /v1/lint", s.handleLint)
 	return mux
+}
+
+// statusRecorder captures the response code for instrumentation.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency recording
+// under the route pattern it was registered with.
+func (s *Server) instrument(pattern string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.metrics.RequestDone(pattern, rec.code, time.Since(start))
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
 }
 
 type targetInfo struct {
@@ -110,9 +171,31 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(content)
 }
 
+// boundedBody caps the request body at limit bytes. Exceeding it makes
+// reads fail with *http.MaxBytesError, which rejectOversize maps to 413 —
+// unlike the io.LimitReader this replaces, which silently truncated the
+// stream and let a partial frame or tar validate "clean".
+func boundedBody(w http.ResponseWriter, r *http.Request, limit int64) io.Reader {
+	return http.MaxBytesReader(w, r.Body, limit)
+}
+
+// rejectOversize writes 413 and reports true when err was caused by the
+// body exceeding its limit.
+func rejectOversize(w http.ResponseWriter, err error, limit int64) bool {
+	var tooLarge *http.MaxBytesError
+	if !errors.As(err, &tooLarge) {
+		return false
+	}
+	httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", limit)
+	return true
+}
+
 func (s *Server) handleValidateFrame(w http.ResponseWriter, r *http.Request) {
-	frame, err := frames.Read(io.LimitReader(r.Body, MaxFrameBytes))
+	frame, err := frames.Read(boundedBody(w, r, s.MaxUploadBytes))
 	if err != nil {
+		if rejectOversize(w, err, s.MaxUploadBytes) {
+			return
+		}
 		httpError(w, http.StatusBadRequest, "bad frame: %v", err)
 		return
 	}
@@ -126,8 +209,11 @@ func (s *Server) handleValidateTar(w http.ResponseWriter, r *http.Request) {
 	if name == "" {
 		name = "uploaded-tar"
 	}
-	ent, err := entity.NewFromTar(name, entity.TypeContainer, io.LimitReader(r.Body, MaxFrameBytes))
+	ent, err := entity.NewFromTar(name, entity.TypeContainer, boundedBody(w, r, s.MaxUploadBytes))
 	if err != nil {
+		if rejectOversize(w, err, s.MaxUploadBytes) {
+			return
+		}
 		httpError(w, http.StatusBadRequest, "bad tar: %v", err)
 		return
 	}
@@ -164,8 +250,11 @@ type lintResponse struct {
 }
 
 func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
-	content, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	content, err := io.ReadAll(boundedBody(w, r, MaxLintBytes))
 	if err != nil {
+		if rejectOversize(w, err, MaxLintBytes) {
+			return
+		}
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}

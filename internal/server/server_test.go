@@ -225,6 +225,131 @@ func TestLintEndpoint(t *testing.T) {
 	}
 }
 
+// smallLimitServer is a test server whose upload cap is shrunk so the
+// 413 path can be exercised without multi-hundred-MB bodies.
+func smallLimitServer(t *testing.T, limit int64) *httptest.Server {
+	t.Helper()
+	s, err := New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MaxUploadBytes = limit
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestValidateFrameOversizedBodyRejected(t *testing.T) {
+	srv := smallLimitServer(t, 1024)
+	body := frameBody(t, 0) // a full fixture frame is far beyond 1 KiB
+	if body.Len() <= 1024 {
+		t.Fatalf("fixture frame unexpectedly small: %d bytes", body.Len())
+	}
+	resp, err := http.Post(srv.URL+"/v1/validate/frame", "application/jsonl", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		out, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %s (want 413): %s", resp.Status, out)
+	}
+}
+
+func TestValidateTarOversizedBodyRejected(t *testing.T) {
+	srv := smallLimitServer(t, 512)
+	img, _ := fixtures.Image("big", "v1", fixtures.Profile{Seed: 3})
+	var buf bytes.Buffer
+	if err := img.ExportTar(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() <= 512 {
+		t.Fatalf("fixture tar unexpectedly small: %d bytes", buf.Len())
+	}
+	resp, err := http.Post(srv.URL+"/v1/validate/tar?name=big:v1", "application/x-tar", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		out, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %s (want 413): %s", resp.Status, out)
+	}
+}
+
+// TestOversizedBodyNeverTruncatedClean is the regression the limit change
+// guards against: a body cut off at the limit must never come back as a
+// clean 200 report.
+func TestOversizedBodyNeverTruncatedClean(t *testing.T) {
+	srv := smallLimitServer(t, 2048)
+	body := frameBody(t, 1) // heavily misconfigured entity
+	resp, err := http.Post(srv.URL+"/v1/validate/frame", "application/jsonl", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode == http.StatusOK {
+		out, _ := io.ReadAll(resp.Body)
+		t.Fatalf("oversized upload returned 200 with report: %s", out)
+	}
+}
+
+func TestLintOversizedBodyRejected(t *testing.T) {
+	srv := testServer(t)
+	big := strings.NewReader("# " + strings.Repeat("x", MaxLintBytes+1))
+	resp, err := http.Post(srv.URL+"/v1/lint", "application/yaml", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("status = %s (want 413)", resp.Status)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	// Drive a validation and a 404-ish request first so counters move.
+	resp, err := http.Post(srv.URL+"/v1/validate/frame", "application/jsonl", frameBody(t, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	bad, err := http.Post(srv.URL+"/v1/validate/frame", "text/plain", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = bad.Body.Close()
+
+	m, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Body.Close() }()
+	if m.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %s", m.Status)
+	}
+	if ct := m.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	text, _ := io.ReadAll(m.Body)
+	body := string(text)
+	for _, want := range []string{
+		"configvalidator_scans_total 1",
+		`configvalidator_http_requests_total{route="POST /v1/validate/frame",code="200"} 1`,
+		`configvalidator_http_requests_total{route="POST /v1/validate/frame",code="400"} 1`,
+		"configvalidator_scan_duration_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	// Latency histogram recorded something.
+	if !strings.Contains(body, `configvalidator_scan_duration_seconds_bucket{le="+Inf"} 1`) {
+		t.Errorf("scan latency histogram empty:\n%s", body)
+	}
+}
+
 // TestFrameRoundTripThroughService is the end-to-end touchless story:
 // capture locally, POST, get the same verdicts a local scan yields.
 func TestFrameRoundTripThroughService(t *testing.T) {

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"configvalidator/internal/engine"
+)
+
+func TestBucketConstantMatchesBounds(t *testing.T) {
+	if len(LatencyBuckets) != numBuckets {
+		t.Fatalf("numBuckets = %d, len(LatencyBuckets) = %d", numBuckets, len(LatencyBuckets))
+	}
+}
+
+func TestCollectorCounters(t *testing.T) {
+	c := NewCollector()
+	c.ScanDone(2*time.Millisecond, map[engine.Status]int{
+		engine.StatusPass: 10, engine.StatusFail: 2, engine.StatusError: 1,
+	})
+	c.ScanFailed(time.Millisecond)
+	c.ScanPanicked(time.Millisecond)
+	c.ScanTimedOut(50 * time.Millisecond)
+	c.RetryScheduled()
+	c.RetryScheduled()
+
+	s := c.Snapshot()
+	if s.Scans != 4 {
+		t.Errorf("Scans = %d, want 4", s.Scans)
+	}
+	if s.Errors != 3 {
+		t.Errorf("Errors = %d, want 3", s.Errors)
+	}
+	if s.Panics != 1 || s.Timeouts != 1 || s.Retries != 2 {
+		t.Errorf("panics/timeouts/retries = %d/%d/%d", s.Panics, s.Timeouts, s.Retries)
+	}
+	if s.ResultsByStatus[engine.StatusPass] != 10 || s.ResultsByStatus[engine.StatusFail] != 2 {
+		t.Errorf("ResultsByStatus = %v", s.ResultsByStatus)
+	}
+	if s.ScanLatency.Count != 4 {
+		t.Errorf("latency count = %d", s.ScanLatency.Count)
+	}
+	if s.ScanLatency.Mean() <= 0 {
+		t.Errorf("mean = %v", s.ScanLatency.Mean())
+	}
+}
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.ScanDone(time.Millisecond, nil)
+	c.ScanFailed(0)
+	c.ScanPanicked(0)
+	c.ScanTimedOut(0)
+	c.RetryScheduled()
+	c.RequestDone("GET /healthz", 200, time.Millisecond)
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 99; i++ {
+		c.ScanDone(time.Millisecond, nil) // le=0.001 bucket
+	}
+	c.ScanDone(4*time.Second, nil) // le=5 bucket
+	h := c.Snapshot().ScanLatency
+	if got := h.Quantile(0.5); got != time.Millisecond {
+		t.Errorf("p50 = %v, want 1ms", got)
+	}
+	if got := h.Quantile(1); got != 5*time.Second {
+		t.Errorf("p100 = %v, want 5s (bucket upper bound)", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	c := NewCollector()
+	c.ScanDone(3*time.Millisecond, map[engine.Status]int{engine.StatusPass: 5})
+	c.ScanPanicked(time.Millisecond)
+	c.RequestDone("POST /v1/validate/frame", 200, 2*time.Millisecond)
+	c.RequestDone("POST /v1/validate/frame", 413, time.Millisecond)
+
+	var b strings.Builder
+	if err := c.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"configvalidator_scans_total 2",
+		"configvalidator_scan_panics_total 1",
+		"configvalidator_scan_errors_total 1",
+		`configvalidator_results_total{status="pass"} 5`,
+		`configvalidator_scan_duration_seconds_bucket{le="+Inf"} 2`,
+		"configvalidator_scan_duration_seconds_count 2",
+		`configvalidator_http_requests_total{route="POST /v1/validate/frame",code="200"} 1`,
+		`configvalidator_http_requests_total{route="POST /v1/validate/frame",code="413"} 1`,
+		"configvalidator_http_request_duration_seconds_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestCollectorConcurrency(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.ScanDone(time.Millisecond, map[engine.Status]int{engine.StatusPass: 1})
+				c.RequestDone("GET /metrics", 200, time.Microsecond)
+				c.RetryScheduled()
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Scans != 4000 || s.Retries != 4000 {
+		t.Errorf("scans=%d retries=%d, want 4000 each", s.Scans, s.Retries)
+	}
+	if s.HTTPRequests["GET /metrics 200"] != 4000 {
+		t.Errorf("http = %v", s.HTTPRequests)
+	}
+	if s.ResultsByStatus[engine.StatusPass] != 4000 {
+		t.Errorf("pass results = %d", s.ResultsByStatus[engine.StatusPass])
+	}
+}

@@ -19,6 +19,7 @@ package configvalidator
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"configvalidator/internal/crawler"
 	"configvalidator/internal/cvl"
@@ -28,6 +29,7 @@ import (
 	"configvalidator/internal/output"
 	"configvalidator/internal/remediate"
 	"configvalidator/internal/rules"
+	"configvalidator/internal/telemetry"
 )
 
 // Re-exported core types, so typical use needs only this package.
@@ -48,6 +50,14 @@ type (
 	FileReader = cvl.FileReader
 	// OutputOptions control report rendering.
 	OutputOptions = output.Options
+	// Collector accumulates runtime metrics across scans and HTTP
+	// requests; see WithTelemetry and the telemetry package.
+	Collector = telemetry.Collector
+	// MetricsSnapshot is a point-in-time copy of a Collector's counters.
+	MetricsSnapshot = telemetry.Snapshot
+	// PanicError is a recovered scan panic carrying the stack; fleet
+	// scanning converts worker panics into FleetResult.Err of this type.
+	PanicError = engine.PanicError
 )
 
 // Status values, re-exported.
@@ -62,21 +72,23 @@ const (
 // through a shared memoizing source, so repeated scans (fleets, watchers)
 // parse the rule library once.
 type Validator struct {
-	manifest *cvl.Manifest
-	reader   cvl.FileReader
-	source   *engine.CachedSource
-	engine   *engine.Engine
+	manifest  *cvl.Manifest
+	reader    cvl.FileReader
+	source    *engine.CachedSource
+	engine    *engine.Engine
+	telemetry *telemetry.Collector
 }
 
 // Option customizes a Validator.
 type Option func(*config)
 
 type config struct {
-	manifest *cvl.Manifest
-	reader   cvl.FileReader
-	registry *lens.Registry
-	crawlOpt crawler.Options
-	extended bool
+	manifest  *cvl.Manifest
+	reader    cvl.FileReader
+	registry  *lens.Registry
+	crawlOpt  crawler.Options
+	extended  bool
+	telemetry *telemetry.Collector
 }
 
 // WithManifest uses a custom manifest and rule-file reader instead of the
@@ -104,6 +116,19 @@ func WithLensRegistry(r *lens.Registry) Option {
 func WithCrawlerOptions(opts crawler.Options) Option {
 	return func(c *config) { c.crawlOpt = opts }
 }
+
+// WithTelemetry attaches a metrics collector: every Validate /
+// ValidateTarget call (and therefore every fleet scan and HTTP
+// validation request routed through this Validator) records its latency
+// and result counts into it. Share one collector across a Validator and
+// the HTTP server to get a single operational view; read it with
+// Collector.Snapshot or render it with Collector.WritePrometheus.
+func WithTelemetry(c *telemetry.Collector) Option {
+	return func(cfg *config) { cfg.telemetry = c }
+}
+
+// NewCollector creates an empty metrics collector for WithTelemetry.
+func NewCollector() *Collector { return telemetry.NewCollector() }
 
 // New builds a Validator. With no options it loads the built-in rule
 // library: 135 rules across the 11 targets of the paper's Table 1.
@@ -134,27 +159,53 @@ func New(opts ...Option) (*Validator, error) {
 	}
 	eng := engine.New(crawler.New(c.registry, c.crawlOpt))
 	return &Validator{
-		manifest: c.manifest,
-		reader:   c.reader,
-		source:   engine.NewCachedSource(c.reader),
-		engine:   eng,
+		manifest:  c.manifest,
+		reader:    c.reader,
+		source:    engine.NewCachedSource(c.reader),
+		engine:    eng,
+		telemetry: c.telemetry,
 	}, nil
+}
+
+// Telemetry returns the attached metrics collector, or nil when the
+// Validator was built without WithTelemetry.
+func (v *Validator) Telemetry() *Collector { return v.telemetry }
+
+// record instruments one terminal validation outcome. Collector methods
+// are nil-safe, so un-instrumented validators pay only a nil check.
+func (v *Validator) record(start time.Time, rep *Report, err error) {
+	if v.telemetry == nil {
+		return
+	}
+	if err != nil {
+		v.telemetry.ScanFailed(time.Since(start))
+		return
+	}
+	v.telemetry.ScanDone(time.Since(start), rep.Counts())
 }
 
 // Validate runs every enabled manifest entry (including composite rules)
 // against the entity.
 func (v *Validator) Validate(e Entity) (*Report, error) {
-	return v.engine.ValidateWithSource(e, v.manifest, v.source)
+	start := time.Now()
+	rep, err := v.engine.ValidateWithSource(e, v.manifest, v.source)
+	v.record(start, rep, err)
+	return rep, err
 }
 
 // ValidateTarget runs only the named manifest entity (e.g. "sshd").
 func (v *Validator) ValidateTarget(e Entity, target string) (*Report, error) {
+	start := time.Now()
 	entry, ok := v.manifest.Entry(target)
 	if !ok {
-		return nil, fmt.Errorf("configvalidator: manifest has no entity %q", target)
+		err := fmt.Errorf("configvalidator: manifest has no entity %q", target)
+		v.record(start, nil, err)
+		return nil, err
 	}
 	sub := &cvl.Manifest{Entries: []*cvl.ManifestEntry{entry}}
-	return v.engine.ValidateWithSource(e, sub, v.source)
+	rep, err := v.engine.ValidateWithSource(e, sub, v.source)
+	v.record(start, rep, err)
+	return rep, err
 }
 
 // ValidateRules applies an explicit rule list with explicit search paths —
@@ -190,6 +241,15 @@ func BuiltinRules(target string) ([]*Rule, error) {
 func WithRuntimePlugins(e Entity) Entity {
 	return crawler.WithPlugins(e, crawler.DefaultPlugins()...)
 }
+
+// Transient reports whether a scan error is likely retryable (explicitly
+// marked, deadline expiry, or a timeout/temporary network condition).
+// ValidateFleet consults it before re-scanning under FleetOptions.Retries.
+func Transient(err error) bool { return engine.Transient(err) }
+
+// MarkTransient wraps err so Transient reports it retryable — for entity
+// implementations and crawler plugins whose failures are worth retrying.
+func MarkTransient(err error) error { return engine.MarkTransient(err) }
 
 // Proposal is a suggested configuration edit for a failing check.
 type Proposal = remediate.Proposal
