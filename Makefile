@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race ci bench
+.PHONY: build test vet race lint ci bench
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Static checks: cvlint over the embedded rule library, gofmt, and vet.
+lint:
+	$(GO) run ./cmd/cvlint -q -builtin
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	$(GO) vet ./...
+
 # The full gate: what CI runs on every change.
-ci: build vet race
+ci: build lint race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,75 +1,180 @@
-// Command cvlint lints CVL rule files: syntax errors, unknown keywords
-// (with typo suggestions), type-mismatched keywords, duplicate rules, and
-// maintainability warnings such as missing descriptions or tags.
+// Command cvlint runs project-wide static analysis over CVL rule files
+// and manifests: syntax errors with positions, unknown keywords (with typo
+// suggestions), inheritance-graph problems (missing parents, cycles, dead
+// overrides, silent shadowing), cross-file composite-reference checks,
+// manifest reachability, and maintainability warnings.
 //
-//	cvlint rules/*.yaml
-//	cvlint -q rules/nginx.yaml     # errors only
-//	cvlint -builtin                # lint the embedded rule library
+//	cvlint rules/*.yaml             # lint individual files
+//	cvlint ./rules                  # analyze a whole rule project
+//	cvlint -q rules/nginx.yaml      # errors only
+//	cvlint -builtin                 # analyze the embedded rule library
+//	cvlint -format sarif ./rules    # SARIF 2.1.0 for code-scanning UIs
+//	cvlint -write-baseline lint.json ./rules   # accept current findings
+//	cvlint -baseline lint.json ./rules         # gate only on new findings
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
-	"configvalidator/internal/cvl"
+	"configvalidator/internal/analysis"
 	"configvalidator/internal/rules"
 )
 
+const usageText = `usage: cvlint [flags] <rulefile.yaml | ruledir>...
+
+cvlint analyzes CVL rule files and manifests. Directory arguments are
+loaded as whole projects (inheritance and cross-file checks apply);
+file arguments are linted individually, with unresolved parent files
+reported as warnings instead of errors.
+
+Exit codes:
+  0  no findings, or warnings only
+  1  at least one error-level finding
+  2  usage error or I/O failure
+
+Flags:
+`
+
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cvlint", flag.ContinueOnError)
-	quiet := fs.Bool("q", false, "report errors only, suppress warnings")
-	builtin := fs.Bool("builtin", false, "lint the embedded built-in rule library")
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprint(fs.Output(), usageText)
+		fs.PrintDefaults()
+	}
+	quiet := fs.Bool("q", false, "report errors only, suppress warnings (text format)")
+	builtin := fs.Bool("builtin", false, "analyze the embedded built-in rule library")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
+	baselinePath := fs.String("baseline", "", "suppress findings listed in this baseline `file`")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to a baseline `file` and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	type input struct {
-		path    string
-		content []byte
-	}
-	var inputs []input
-	if *builtin {
-		for path, content := range rules.Files() {
-			if path == "manifest.yaml" {
-				continue
-			}
-			inputs = append(inputs, input{path: path, content: []byte(content)})
-		}
-	}
-	for _, path := range fs.Args() {
-		content, err := os.ReadFile(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cvlint:", err)
-			return 1
-		}
-		inputs = append(inputs, input{path: path, content: content})
-	}
-	if len(inputs) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: cvlint [-q] [-builtin] <rulefile.yaml>...")
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "cvlint: unknown -format %q (want text, json, or sarif)\n", *format)
 		return 2
 	}
 
-	errors, warnings := 0, 0
-	for _, in := range inputs {
-		for _, d := range cvl.Lint(in.path, in.content) {
-			if d.Level == cvl.LintWarning {
-				warnings++
-				if *quiet {
-					continue
-				}
-			} else {
-				errors++
+	project := analysis.NewProject()
+	fileMode := !*builtin
+	if *builtin {
+		addBuiltin(project)
+	}
+	for _, arg := range fs.Args() {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintln(stderr, "cvlint:", err)
+			return 2
+		}
+		if info.IsDir() {
+			fileMode = false
+			if err := project.AddDir(arg); err != nil {
+				fmt.Fprintln(stderr, "cvlint:", err)
+				return 2
 			}
-			fmt.Printf("%s: %s\n", in.path, d)
+			continue
+		}
+		content, err := os.ReadFile(arg)
+		if err != nil {
+			fmt.Fprintln(stderr, "cvlint:", err)
+			return 2
+		}
+		if analysis.IsManifestPath(arg) {
+			project.AddManifest(arg, content)
+		} else {
+			project.AddRuleFile(arg, content)
 		}
 	}
-	fmt.Printf("%d file(s) checked, %d error(s), %d warning(s)\n", len(inputs), errors, warnings)
-	if errors > 0 {
-		return 1
+	if project.Len() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	result := analysis.Analyze(project, analysis.Options{ExternalParents: fileMode})
+
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "cvlint:", err)
+			return 2
+		}
+		err = analysis.NewBaseline(result.Diagnostics).Encode(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "cvlint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "cvlint: wrote %d suppression(s) to %s\n", len(result.Diagnostics), *writeBaseline)
+		return 0
+	}
+
+	diags := result.Diagnostics
+	suppressed := 0
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "cvlint:", err)
+			return 2
+		}
+		baseline, err := analysis.ParseBaseline(data)
+		if err != nil {
+			fmt.Fprintln(stderr, "cvlint:", err)
+			return 2
+		}
+		var dropped []analysis.Diagnostic
+		diags, dropped = baseline.Filter(diags)
+		suppressed = len(dropped)
+	}
+
+	switch *format {
+	case "json":
+		if err := analysis.RenderJSON(stdout, diags, result.FilesChecked); err != nil {
+			fmt.Fprintln(stderr, "cvlint:", err)
+			return 2
+		}
+	case "sarif":
+		if err := analysis.RenderSARIF(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "cvlint:", err)
+			return 2
+		}
+	default:
+		analysis.RenderText(stdout, diags, result.FilesChecked, suppressed, *quiet)
+	}
+
+	for _, d := range diags {
+		if d.Severity == analysis.SevError {
+			return 1
+		}
 	}
 	return 0
+}
+
+// addBuiltin loads the embedded rule library, manifest included, in
+// deterministic path order.
+func addBuiltin(p *analysis.Project) {
+	files := rules.Files()
+	paths := make([]string, 0, len(files))
+	for path := range files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if analysis.IsManifestPath(path) {
+			p.AddManifest(path, []byte(files[path]))
+		} else {
+			p.AddRuleFile(path, []byte(files[path]))
+		}
+	}
 }

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -15,9 +18,14 @@ func writeTemp(t *testing.T, name, content string) string {
 	return path
 }
 
-func TestLintCleanFile(t *testing.T) {
-	path := writeTemp(t, "clean.yaml", `
-config_name: PermitRootLogin
+func runCapture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+const cleanRule = `config_name: PermitRootLogin
 config_description: "ok"
 config_path: [""]
 preferred_value: ["no"]
@@ -26,40 +34,204 @@ matched_description: "ok"
 not_matched_preferred_value_description: "bad"
 not_present_description: "missing"
 tags: ["#cis"]
-`)
-	if code := run([]string{path}); code != 0 {
+`
+
+func TestLintCleanFile(t *testing.T) {
+	path := writeTemp(t, "clean.yaml", cleanRule)
+	code, out, _ := runCapture(t, path)
+	if code != 0 {
 		t.Errorf("clean file exit = %d", code)
+	}
+	if !strings.Contains(out, "1 file(s) checked, 0 error(s), 0 warning(s)") {
+		t.Errorf("summary = %q", out)
 	}
 }
 
 func TestLintBrokenFile(t *testing.T) {
 	path := writeTemp(t, "broken.yaml", "config_nme: typo\n")
-	if code := run([]string{path}); code != 1 {
+	code, out, _ := runCapture(t, path)
+	if code != 1 {
 		t.Errorf("broken file exit = %d", code)
+	}
+	if !strings.Contains(out, "CVL003") || !strings.Contains(out, `"config_name"`) {
+		t.Errorf("output = %q", out)
 	}
 }
 
 func TestLintWarningsDoNotFail(t *testing.T) {
 	path := writeTemp(t, "warn.yaml", "config_name: x\n")
-	if code := run([]string{path}); code != 0 {
+	if code, _, _ := runCapture(t, path); code != 0 {
 		t.Errorf("warnings-only exit = %d", code)
 	}
-	if code := run([]string{"-q", path}); code != 0 {
+	code, out, _ := runCapture(t, "-q", path)
+	if code != 0 {
 		t.Errorf("quiet exit = %d", code)
+	}
+	if strings.Contains(out, "CVL4") {
+		t.Errorf("quiet mode printed warnings: %q", out)
 	}
 }
 
 func TestLintBuiltin(t *testing.T) {
-	if code := run([]string{"-builtin", "-q"}); code != 0 {
+	if code, _, _ := runCapture(t, "-builtin", "-q"); code != 0 {
 		t.Errorf("builtin library lint exit = %d", code)
 	}
 }
 
 func TestLintUsageAndMissingFile(t *testing.T) {
-	if code := run(nil); code != 2 {
+	if code, _, _ := runCapture(t); code != 2 {
 		t.Errorf("no-args exit = %d", code)
 	}
-	if code := run([]string{"/no/such/file.yaml"}); code != 1 {
+	// I/O failures are usage-level (exit 2), distinct from lint errors.
+	if code, _, _ := runCapture(t, "/no/such/file.yaml"); code != 2 {
 		t.Errorf("missing file exit = %d", code)
+	}
+	if code, _, _ := runCapture(t, "-format", "xml", "x.yaml"); code != 2 {
+		t.Errorf("bad format exit = %d", code)
+	}
+	if code, _, _ := runCapture(t, "-baseline", "/no/such/baseline.json", writeTemp(t, "a.yaml", cleanRule)); code != 2 {
+		t.Errorf("missing baseline exit = %d", code)
+	}
+}
+
+func TestUsageDocumentsExitCodes(t *testing.T) {
+	_, _, stderr := runCapture(t)
+	for _, want := range []string{"Exit codes:", "0  no findings", "1  at least one error", "2  usage error"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("usage missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+// TestProjectDirectoryMode pins the whole-project flow: a directory with a
+// manifest, an inheritance chain, and cross-file problems analyzed as one
+// unit with positioned findings.
+func TestProjectDirectoryMode(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"base.yaml": cleanRule,
+		"child.yaml": "parent_cvl_file: base.yaml\n---\n" +
+			strings.Replace(cleanRule, "config_description", "description", 1),
+		"manifest.yaml": "sshd:\n  enabled: True\n  cvl_file: child.yaml\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code, out, _ := runCapture(t, dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, output:\n%s", code, out)
+	}
+	// child.yaml redefines PermitRootLogin without override → CVL104.
+	if !strings.Contains(out, "CVL104") || !strings.Contains(out, "base.yaml") {
+		t.Errorf("shadow warning missing: %q", out)
+	}
+
+	// A broken parent reference in project mode is an error.
+	if err := os.WriteFile(filepath.Join(dir, "orphan.yaml"), []byte("parent_cvl_file: gone.yaml\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runCapture(t, dir)
+	if code != 1 || !strings.Contains(out, "CVL101") {
+		t.Errorf("missing parent: exit=%d output=%q", code, out)
+	}
+}
+
+func TestSingleFileParentIsWarning(t *testing.T) {
+	path := writeTemp(t, "child.yaml", "parent_cvl_file: elsewhere.yaml\n---\n"+cleanRule)
+	code, out, _ := runCapture(t, path)
+	if code != 0 {
+		t.Errorf("exit = %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "CVL101") {
+		t.Errorf("parent warning missing: %q", out)
+	}
+}
+
+func TestFormatJSON(t *testing.T) {
+	path := writeTemp(t, "broken.yaml", "config_nme: typo\n")
+	code, out, _ := runCapture(t, "-format", "json", path)
+	if code != 1 {
+		t.Errorf("exit = %d", code)
+	}
+	var got struct {
+		FilesChecked int `json:"files_checked"`
+		Errors       int `json:"errors"`
+		Diagnostics  []struct {
+			Code string `json:"code"`
+			Line int    `json:"line"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(out), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if got.FilesChecked != 1 || got.Errors != 1 || len(got.Diagnostics) == 0 || got.Diagnostics[0].Code != "CVL003" {
+		t.Errorf("json = %+v", got)
+	}
+}
+
+func TestFormatSARIF(t *testing.T) {
+	path := writeTemp(t, "broken.yaml", "config_nme: typo\n")
+	code, out, _ := runCapture(t, "-format", "sarif", path)
+	if code != 1 {
+		t.Errorf("exit = %d", code)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name string `json:"name"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("invalid SARIF: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" || log.Schema == "" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "cvlint" {
+		t.Errorf("sarif header = %+v", log)
+	}
+	if len(log.Runs[0].Results) == 0 || log.Runs[0].Results[0].RuleID != "CVL003" {
+		t.Errorf("sarif results = %+v", log.Runs[0].Results)
+	}
+}
+
+func TestBaselineWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	rulePath := filepath.Join(dir, "broken.yaml")
+	if err := os.WriteFile(rulePath, []byte("config_nme: typo\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baselinePath := filepath.Join(dir, "lint-baseline.json")
+
+	// Accept the current findings.
+	code, _, stderr := runCapture(t, "-write-baseline", baselinePath, rulePath)
+	if code != 0 {
+		t.Fatalf("write-baseline exit = %d, stderr: %s", code, stderr)
+	}
+
+	// With the baseline, the same findings no longer fail the run.
+	code, out, _ := runCapture(t, "-baseline", baselinePath, rulePath)
+	if code != 0 {
+		t.Errorf("baselined run exit = %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "suppressed by baseline") {
+		t.Errorf("suppression count missing: %q", out)
+	}
+
+	// A new finding in another file still fails.
+	otherPath := filepath.Join(dir, "other.yaml")
+	if err := os.WriteFile(otherPath, []byte("config_nme: typo\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runCapture(t, "-baseline", baselinePath, rulePath, otherPath)
+	if code != 1 || !strings.Contains(out, "other.yaml") {
+		t.Errorf("new finding: exit=%d output=%q", code, out)
 	}
 }

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Suppression matches diagnostics by code, file, and (when set) rule
+// name. Line numbers are deliberately not part of the match so a baseline
+// survives unrelated edits to the file.
+type Suppression struct {
+	Code string `json:"code"`
+	File string `json:"file"`
+	Rule string `json:"rule,omitempty"`
+}
+
+// Baseline is a set of accepted findings. Diagnostics matching a
+// suppression are filtered from analyzer output, so CI gates only on new
+// findings.
+type Baseline struct {
+	Version      int           `json:"version"`
+	Suppressions []Suppression `json:"suppressions"`
+}
+
+// BaselineVersion is the current baseline file format version.
+const BaselineVersion = 1
+
+func suppressionKey(code, file, rule string) string {
+	return code + "\x00" + file + "\x00" + rule
+}
+
+// NewBaseline builds a baseline accepting every given diagnostic,
+// deduplicated and sorted.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	seen := map[string]bool{}
+	b := &Baseline{Version: BaselineVersion}
+	for _, d := range diags {
+		key := suppressionKey(d.Code, d.File, d.Rule)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.Suppressions = append(b.Suppressions, Suppression{Code: d.Code, File: d.File, Rule: d.Rule})
+	}
+	sort.Slice(b.Suppressions, func(i, j int) bool {
+		x, y := b.Suppressions[i], b.Suppressions[j]
+		if x.File != y.File {
+			return x.File < y.File
+		}
+		if x.Code != y.Code {
+			return x.Code < y.Code
+		}
+		return x.Rule < y.Rule
+	})
+	return b
+}
+
+// ParseBaseline decodes a baseline file.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parse baseline: %w", err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("analysis: unsupported baseline version %d (want %d)", b.Version, BaselineVersion)
+	}
+	return &b, nil
+}
+
+// Encode writes the baseline as indented JSON.
+func (b *Baseline) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// Filter splits diagnostics into those the baseline does not cover
+// (kept) and those it suppresses.
+func (b *Baseline) Filter(diags []Diagnostic) (kept, suppressed []Diagnostic) {
+	index := make(map[string]bool, len(b.Suppressions))
+	for _, s := range b.Suppressions {
+		index[suppressionKey(s.Code, s.File, s.Rule)] = true
+	}
+	for _, d := range diags {
+		if index[suppressionKey(d.Code, d.File, d.Rule)] {
+			suppressed = append(suppressed, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	return kept, suppressed
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		{Code: "CVL104", Severity: SevWarning, File: "b.yaml", Line: 7, Rule: "x", Msg: "shadowed"},
+		{Code: "CVL303", Severity: SevWarning, File: "a.yaml", Line: 1, Msg: "unreachable"},
+		{Code: "CVL104", Severity: SevWarning, File: "b.yaml", Line: 42, Rule: "x", Msg: "shadowed again"},
+	}
+	b := NewBaseline(diags)
+	if len(b.Suppressions) != 2 {
+		t.Fatalf("suppressions = %v, want 2 after dedupe", b.Suppressions)
+	}
+	if b.Suppressions[0].File != "a.yaml" {
+		t.Errorf("not sorted: %v", b.Suppressions)
+	}
+
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseBaseline(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Suppressions) != 2 || parsed.Version != BaselineVersion {
+		t.Fatalf("round trip = %+v", parsed)
+	}
+
+	kept, suppressed := parsed.Filter(append(diags, Diagnostic{Code: "CVL102", Severity: SevError, File: "c.yaml", Msg: "cycle"}))
+	if len(suppressed) != 3 {
+		t.Errorf("suppressed = %v", suppressed)
+	}
+	if len(kept) != 1 || kept[0].Code != "CVL102" {
+		t.Errorf("kept = %v", kept)
+	}
+}
+
+func TestBaselineIgnoresLineNumbers(t *testing.T) {
+	b := NewBaseline([]Diagnostic{{Code: "CVL104", File: "f.yaml", Line: 10, Rule: "r"}})
+	kept, suppressed := b.Filter([]Diagnostic{{Code: "CVL104", File: "f.yaml", Line: 99, Rule: "r"}})
+	if len(kept) != 0 || len(suppressed) != 1 {
+		t.Errorf("line-shifted finding not suppressed: kept=%v", kept)
+	}
+}
+
+func TestParseBaselineRejectsBadInput(t *testing.T) {
+	if _, err := ParseBaseline([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	_, err := ParseBaseline([]byte(`{"version": 99, "suppressions": []}`))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("version mismatch err = %v", err)
+	}
+}

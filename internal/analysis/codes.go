@@ -1,0 +1,106 @@
+package analysis
+
+// Diagnostic codes. Codes are stable: renderers, baselines, and SARIF
+// consumers key on them, so a code is never renumbered or reused.
+//
+//	CVL0xx — single-file syntax and keyword errors
+//	CVL1xx — inheritance-graph findings
+//	CVL2xx — cross-file semantic findings
+//	CVL3xx — manifest and reachability findings
+//	CVL4xx — style and maintainability warnings
+const (
+	CodeSyntax          = "CVL001" // YAML syntax error
+	CodeNotMapping      = "CVL002" // document or sequence element is not a mapping
+	CodeUnknownKeyword  = "CVL003" // unknown keyword (with did-you-mean)
+	CodeWrongGroup      = "CVL004" // keyword not valid for the rule's type
+	CodeInvalidRule     = "CVL005" // rule fails semantic validation
+	CodeDuplicateRule   = "CVL006" // duplicate rule (same type and name) in one file
+	CodeDuplicateParent = "CVL007" // more than one parent_cvl_file directive
+	CodeParentNotString = "CVL008" // parent_cvl_file is not a string
+
+	CodeMissingParent = "CVL101" // parent rule file not found in the project
+	CodeCycle         = "CVL102" // inheritance cycle
+	CodeDeadOverride  = "CVL103" // override matches no inherited rule
+	CodeShadowed      = "CVL104" // rule replaces an inherited rule without override
+	CodeDeadDisabled  = "CVL105" // disabled matches no inherited rule
+
+	CodeUnknownEntity   = "CVL201" // composite references an entity no manifest defines
+	CodeUnknownRuleRef  = "CVL202" // composite references a rule name that resolves to nothing
+	CodeBadRegex        = "CVL203" // invalid regular expression in a value matcher
+	CodeRelativePath    = "CVL204" // path rule name is not an absolute path
+	CodeContradiction   = "CVL205" // value listed as both preferred and non-preferred
+	CodeMatchWithoutVal = "CVL206" // match spec declared without a value list
+
+	CodeBadManifest      = "CVL301" // invalid manifest entry
+	CodeMissingRuleFile  = "CVL302" // manifest references a rule file not in the project
+	CodeUnreachableFile  = "CVL303" // rule file no manifest reaches
+	CodeUselessTagFilter = "CVL304" // manifest tag filter selects no rule
+	CodeDuplicateEntity  = "CVL305" // entity defined by more than one manifest
+
+	CodeMissingDescription = "CVL401" // rule has no description
+	CodeMissingTags        = "CVL402" // rule has no tags
+	CodeMissingOutputDesc  = "CVL403" // missing outcome description
+	CodeImplicitMatch      = "CVL404" // value list without explicit match spec
+)
+
+// CodeInfo documents one diagnostic code for the catalog, SARIF rule
+// metadata, and docs/LINTING.md.
+type CodeInfo struct {
+	// Code is the stable identifier, e.g. "CVL101".
+	Code string
+	// Summary is a one-line description.
+	Summary string
+	// Severity is the default severity. CVL101 drops to warning under
+	// Options.ExternalParents; everything else is fixed.
+	Severity Severity
+}
+
+// Catalog returns every diagnostic code in ascending order.
+func Catalog() []CodeInfo {
+	return []CodeInfo{
+		{CodeSyntax, "YAML syntax error", SevError},
+		{CodeNotMapping, "document or sequence element is not a mapping", SevError},
+		{CodeUnknownKeyword, "unknown CVL keyword", SevError},
+		{CodeWrongGroup, "keyword not valid for the rule's type", SevError},
+		{CodeInvalidRule, "rule fails semantic validation", SevError},
+		{CodeDuplicateRule, "duplicate rule (same type and name) in one file", SevError},
+		{CodeDuplicateParent, "more than one parent_cvl_file directive", SevError},
+		{CodeParentNotString, "parent_cvl_file is not a string", SevError},
+		{CodeMissingParent, "parent rule file not found in the project", SevError},
+		{CodeCycle, "inheritance cycle through parent_cvl_file", SevError},
+		{CodeDeadOverride, "override: true matches no inherited rule", SevWarning},
+		{CodeShadowed, "rule replaces an inherited rule without override: true", SevWarning},
+		{CodeDeadDisabled, "disabled: true matches no inherited rule", SevWarning},
+		{CodeUnknownEntity, "composite expression references an undefined entity", SevError},
+		{CodeUnknownRuleRef, "composite expression references an undefined rule name", SevWarning},
+		{CodeBadRegex, "invalid regular expression in a value matcher", SevError},
+		{CodeRelativePath, "path rule name is not an absolute path", SevWarning},
+		{CodeContradiction, "value listed as both preferred and non-preferred", SevError},
+		{CodeMatchWithoutVal, "match spec declared without a value list", SevWarning},
+		{CodeBadManifest, "invalid manifest entry", SevError},
+		{CodeMissingRuleFile, "manifest references a rule file not in the project", SevError},
+		{CodeUnreachableFile, "rule file is not referenced by any manifest", SevWarning},
+		{CodeUselessTagFilter, "manifest tag filter selects no rule", SevWarning},
+		{CodeDuplicateEntity, "entity defined by more than one manifest", SevWarning},
+		{CodeMissingDescription, "rule has no description", SevWarning},
+		{CodeMissingTags, "rule has no tags", SevWarning},
+		{CodeMissingOutputDesc, "missing outcome description", SevWarning},
+		{CodeImplicitMatch, "value list without explicit match spec (defaults to exact,any)", SevWarning},
+	}
+}
+
+var codeSeverity = func() map[string]Severity {
+	out := make(map[string]Severity)
+	for _, c := range Catalog() {
+		out[c.Code] = c.Severity
+	}
+	return out
+}()
+
+// severityOf returns the default severity for a code.
+func severityOf(code string) Severity {
+	if s, ok := codeSeverity[code]; ok {
+		return s
+	}
+	return SevError
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"configvalidator/internal/cvl"
+	"configvalidator/internal/cvlgen"
+	"configvalidator/internal/fixtures"
+	"configvalidator/internal/rules"
+)
+
+// TestBuiltinRuleLibraryClean analyzes the entire embedded rule library —
+// manifest plus every component rule file — and requires zero error-level
+// diagnostics. Warnings are tolerated but printed so regressions are
+// visible in -v output.
+func TestBuiltinRuleLibraryClean(t *testing.T) {
+	files := rules.Files()
+	paths := make([]string, 0, len(files))
+	for path := range files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	p := NewProject()
+	for _, path := range paths {
+		if IsManifestPath(path) {
+			p.AddManifest(path, []byte(files[path]))
+		} else {
+			p.AddRuleFile(path, []byte(files[path]))
+		}
+	}
+	res := Analyze(p, Options{})
+	if res.FilesChecked != len(paths) {
+		t.Errorf("files checked = %d, want %d", res.FilesChecked, len(paths))
+	}
+	for _, d := range res.Diagnostics {
+		if d.Severity == SevError {
+			t.Errorf("builtin library: %s", d)
+		} else {
+			t.Logf("builtin library warning: %s", d)
+		}
+	}
+}
+
+// TestGeneratedRulesClean runs the rule generator over every recognizable
+// configuration file in the synthetic fixtures and requires the formatted
+// output to analyze with zero error-level diagnostics: cvlgen must never
+// emit a rule the analyzer rejects.
+func TestGeneratedRulesClean(t *testing.T) {
+	host, _ := fixtures.UbuntuHost("corpus-host", fixtures.Profile{Seed: 7})
+	generated := 0
+	for _, path := range host.Files() {
+		content, err := host.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		ruleSet, err := cvlgen.FromFile(nil, path, content, cvlgen.Options{})
+		if err != nil {
+			// Not every fixture file has a lens; those are out of scope.
+			continue
+		}
+		if len(ruleSet) == 0 {
+			continue
+		}
+		generated++
+		rendered, err := cvl.FormatRuleFile("", ruleSet)
+		if err != nil {
+			t.Fatalf("format rules for %s: %v", path, err)
+		}
+		res := AnalyzeFile(fileNameFor(path), rendered)
+		for _, d := range res.Diagnostics {
+			if d.Severity == SevError {
+				t.Errorf("generated rules for %s: %s", path, d)
+			}
+		}
+	}
+	if generated == 0 {
+		t.Fatal("no fixture config file produced rules; corpus test is vacuous")
+	}
+}
+
+func fileNameFor(configPath string) string {
+	name := strings.Trim(strings.ReplaceAll(configPath, "/", "_"), "_")
+	return name + ".yaml"
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// RenderText writes one line per diagnostic followed by a summary line.
+// With quiet set, warnings are counted but not printed. suppressed is the
+// number of findings a baseline filtered out (0 when none).
+func RenderText(w io.Writer, diags []Diagnostic, filesChecked, suppressed int, quiet bool) {
+	for _, d := range diags {
+		if quiet && d.Severity != SevError {
+			continue
+		}
+		fmt.Fprintln(w, d)
+	}
+	errors, warnings := countLevels(diags)
+	fmt.Fprintf(w, "%d file(s) checked, %d error(s), %d warning(s)", filesChecked, errors, warnings)
+	if suppressed > 0 {
+		fmt.Fprintf(w, ", %d suppressed by baseline", suppressed)
+	}
+	fmt.Fprintln(w)
+}
+
+// JSONDiagnostic is the machine-readable diagnostic shape, shared by the
+// JSON renderer and the server's lint endpoint. Text carries the rendered
+// one-line form for consumers that only display findings.
+type JSONDiagnostic struct {
+	Code     string `json:"code"`
+	Severity string `json:"severity"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Rule     string `json:"rule,omitempty"`
+	Msg      string `json:"msg"`
+	Text     string `json:"text"`
+}
+
+// JSON converts the diagnostic to its wire shape.
+func (d Diagnostic) JSON() JSONDiagnostic {
+	return JSONDiagnostic{
+		Code:     d.Code,
+		Severity: d.Severity.String(),
+		File:     d.File,
+		Line:     d.Line,
+		Col:      d.Col,
+		Rule:     d.Rule,
+		Msg:      d.Msg,
+		Text:     d.String(),
+	}
+}
+
+// RenderJSON writes the diagnostics as one indented JSON object:
+// {files_checked, errors, warnings, diagnostics: [...]}.
+func RenderJSON(w io.Writer, diags []Diagnostic, filesChecked int) error {
+	errors, warnings := countLevels(diags)
+	out := struct {
+		FilesChecked int              `json:"files_checked"`
+		Errors       int              `json:"errors"`
+		Warnings     int              `json:"warnings"`
+		Diagnostics  []JSONDiagnostic `json:"diagnostics"`
+	}{FilesChecked: filesChecked, Errors: errors, Warnings: warnings, Diagnostics: make([]JSONDiagnostic, 0, len(diags))}
+	for _, d := range diags {
+		out.Diagnostics = append(out.Diagnostics, d.JSON())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// --- SARIF 2.1.0 ---
+
+// SARIFSchemaURI is the JSON schema the SARIF renderer targets.
+const SARIFSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID                   string       `json:"id"`
+	ShortDescription     sarifMessage `json:"shortDescription"`
+	DefaultConfiguration sarifConfig  `json:"defaultConfiguration"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// RenderSARIF writes the diagnostics as a SARIF 2.1.0 log with the full
+// code catalog as the tool's rule metadata.
+func RenderSARIF(w io.Writer, diags []Diagnostic) error {
+	catalog := Catalog()
+	rules := make([]sarifRule, 0, len(catalog))
+	index := make(map[string]int, len(catalog))
+	for i, c := range catalog {
+		index[c.Code] = i
+		rules = append(rules, sarifRule{
+			ID:                   c.Code,
+			ShortDescription:     sarifMessage{Text: c.Summary},
+			DefaultConfiguration: sarifConfig{Level: c.Severity.String()},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		msg := d.Msg
+		if d.Rule != "" {
+			msg = fmt.Sprintf("rule %q: %s", d.Rule, d.Msg)
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Code,
+			RuleIndex: index[d.Code],
+			Level:     d.Severity.String(),
+			Message:   sarifMessage{Text: msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: d.File},
+					Region:           sarifRegion{StartLine: max(d.Line, 1), StartColumn: max(d.Col, 1)},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  SARIFSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "cvlint", InformationURI: "https://example.com/configvalidator/docs/LINTING.md", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+var renderDiags = []Diagnostic{
+	{Code: "CVL102", Severity: SevError, File: "cyc2.yaml", Line: 1, Col: 1, Msg: "inheritance cycle"},
+	{Code: "CVL104", Severity: SevWarning, File: "child.yaml", Line: 3, Col: 1, Rule: "ssl_protocols", Msg: "shadows inherited rule"},
+}
+
+func TestRenderText(t *testing.T) {
+	var buf bytes.Buffer
+	RenderText(&buf, renderDiags, 4, 0, false)
+	out := buf.String()
+	if !strings.Contains(out, "cyc2.yaml:1:1: error CVL102") {
+		t.Errorf("output = %q", out)
+	}
+	if !strings.Contains(out, "4 file(s) checked, 1 error(s), 1 warning(s)") {
+		t.Errorf("summary missing: %q", out)
+	}
+
+	buf.Reset()
+	RenderText(&buf, renderDiags, 4, 2, true)
+	out = buf.String()
+	if strings.Contains(out, "CVL104") {
+		t.Errorf("quiet mode printed a warning: %q", out)
+	}
+	if !strings.Contains(out, "2 suppressed by baseline") {
+		t.Errorf("suppressed count missing: %q", out)
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderJSON(&buf, renderDiags, 4); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		FilesChecked int `json:"files_checked"`
+		Errors       int `json:"errors"`
+		Warnings     int `json:"warnings"`
+		Diagnostics  []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Rule     string `json:"rule"`
+			Msg      string `json:"msg"`
+			Text     string `json:"text"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.FilesChecked != 4 || got.Errors != 1 || got.Warnings != 1 {
+		t.Errorf("counts = %+v", got)
+	}
+	if len(got.Diagnostics) != 2 {
+		t.Fatalf("diagnostics = %+v", got.Diagnostics)
+	}
+	d := got.Diagnostics[1]
+	if d.Code != "CVL104" || d.Severity != "warning" || d.File != "child.yaml" || d.Line != 3 || d.Rule != "ssl_protocols" {
+		t.Errorf("diag = %+v", d)
+	}
+	if !strings.Contains(d.Text, "child.yaml:3:1") {
+		t.Errorf("text = %q", d.Text)
+	}
+}
+
+func TestRenderSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	// Include a zero-position diagnostic to exercise the >=1 clamp SARIF
+	// requires for region coordinates.
+	diags := append(renderDiags, Diagnostic{Code: "CVL303", Severity: SevWarning, File: "orphan.yaml", Msg: "unreachable"})
+	if err := RenderSARIF(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name           string `json:"name"`
+					InformationURI string `json:"informationUri"`
+					Rules          []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+						DefaultConfiguration struct {
+							Level string `json:"level"`
+						} `json:"defaultConfiguration"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Version != "2.1.0" || log.Schema != SARIFSchemaURI {
+		t.Errorf("header = %q %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "cvlint" || run.Tool.Driver.InformationURI == "" {
+		t.Errorf("driver = %+v", run.Tool.Driver)
+	}
+	if len(run.Tool.Driver.Rules) != len(Catalog()) {
+		t.Errorf("rules = %d, want %d", len(run.Tool.Driver.Rules), len(Catalog()))
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("results = %+v", run.Results)
+	}
+	r := run.Results[0]
+	if r.RuleID != "CVL102" || r.Level != "error" || r.Message.Text != "inheritance cycle" {
+		t.Errorf("result = %+v", r)
+	}
+	if run.Tool.Driver.Rules[r.RuleIndex].ID != r.RuleID {
+		t.Errorf("ruleIndex %d does not point at %s", r.RuleIndex, r.RuleID)
+	}
+	if got := run.Results[1].Message.Text; !strings.Contains(got, `rule "ssl_protocols"`) {
+		t.Errorf("rule prefix missing: %q", got)
+	}
+	loc := run.Results[2].Locations[0].PhysicalLocation
+	if loc.Region.StartLine != 1 || loc.Region.StartColumn != 1 {
+		t.Errorf("zero position not clamped: %+v", loc.Region)
+	}
+	if loc.ArtifactLocation.URI != "orphan.yaml" {
+		t.Errorf("uri = %q", loc.ArtifactLocation.URI)
+	}
+}

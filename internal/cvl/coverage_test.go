@@ -58,10 +58,21 @@ func TestLintSequenceAndScalarDocuments(t *testing.T) {
 	if !HasErrors(diags) {
 		t.Errorf("scalar document not reported: %v", diags)
 	}
-	// Parent-only document lints clean.
+	// Regression for the old silent-skip path: a parent-only document must
+	// not error (single-file lint cannot resolve it), but it must no longer
+	// pass silently either — the unresolved parent is surfaced as a warning
+	// pointing authors at project analysis.
 	diags = Lint("f.yaml", []byte("parent_cvl_file: base.yaml\n"))
-	if len(diags) != 0 {
-		t.Errorf("parent directive flagged: %v", diags)
+	if HasErrors(diags) {
+		t.Errorf("parent directive errored: %v", diags)
+	}
+	if len(diags) != 1 || diags[0].Level != LintWarning || !strings.Contains(diags[0].Msg, "base.yaml") {
+		t.Errorf("unresolved parent not warned: %v", diags)
+	}
+	// A non-string parent is an error.
+	diags = Lint("f.yaml", []byte("parent_cvl_file: [a, b]\n"))
+	if !HasErrors(diags) {
+		t.Errorf("non-string parent not reported: %v", diags)
 	}
 }
 

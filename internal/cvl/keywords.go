@@ -121,8 +121,9 @@ var typeNameKeyword = map[RuleType]string{
 	TypeComposite: "composite_rule_name",
 }
 
-// allowedGroups returns the keyword groups valid for a rule type.
-func allowedGroups(t RuleType) map[KeywordGroup]bool {
+// AllowedGroups returns the keyword groups valid for a rule type: the
+// common group plus the type's own group.
+func AllowedGroups(t RuleType) map[KeywordGroup]bool {
 	out := map[KeywordGroup]bool{GroupCommon: true}
 	switch t {
 	case TypeTree:

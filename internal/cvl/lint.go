@@ -72,6 +72,14 @@ func Lint(path string, content []byte) []Diagnostic {
 	seen := make(map[string]bool)
 	for i, m := range ruleMaps {
 		if m.Len() == 1 && m.Has("parent_cvl_file") {
+			// Single-file lint cannot resolve the parent chain; surface
+			// that instead of skipping silently, so authors know missing
+			// or cyclic parents are only caught by project analysis.
+			if parent, ok := m.String("parent_cvl_file"); ok {
+				out = append(out, Diagnostic{Level: LintWarning, Msg: fmt.Sprintf("parent_cvl_file %q is not resolved by single-file lint; run project analysis to verify the inheritance chain", parent)})
+			} else {
+				out = append(out, Diagnostic{Level: LintError, Msg: "parent_cvl_file must be a string"})
+			}
 			continue
 		}
 		rule, err := ParseRule(m)

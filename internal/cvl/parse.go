@@ -65,11 +65,11 @@ func ParseRuleFile(path string, content []byte) (*RuleFile, error) {
 // ParseRule converts one YAML mapping into a Rule, validating keywords and
 // type-specific requirements.
 func ParseRule(m *yaml.Map) (*Rule, error) {
-	ruleType, err := detectRuleType(m)
+	ruleType, err := DetectRuleType(m)
 	if err != nil {
 		return nil, err
 	}
-	allowed := allowedGroups(ruleType)
+	allowed := AllowedGroups(ruleType)
 	r := &Rule{Type: ruleType, Permission: -1, MaxPermission: -1}
 	for _, key := range m.Keys() {
 		group, known := Keywords[key]
@@ -90,7 +90,11 @@ func ParseRule(m *yaml.Map) (*Rule, error) {
 	return r, nil
 }
 
-func detectRuleType(m *yaml.Map) (RuleType, error) {
+// DetectRuleType determines a rule mapping's type: an explicit rule_type
+// declaration wins, otherwise exactly one type-specific name keyword
+// (config_name, config_schema_name, path_name, script_name,
+// composite_rule_name) must be present.
+func DetectRuleType(m *yaml.Map) (RuleType, error) {
 	if declared, ok := m.String("rule_type"); ok {
 		return ParseRuleType(declared)
 	}
@@ -430,8 +434,9 @@ func setOctal(dst *int, value any) error {
 	return nil
 }
 
-// keywordSuggestion proposes the closest known keyword for typo diagnostics.
-func keywordSuggestion(key string) string {
+// SuggestKeyword returns the known CVL keyword closest to key (edit
+// distance at most 2), or "" when nothing is close enough to suggest.
+func SuggestKeyword(key string) string {
 	best := ""
 	bestDist := 3 // suggest only close matches
 	for kw := range Keywords {
@@ -439,6 +444,12 @@ func keywordSuggestion(key string) string {
 			best, bestDist = kw, d
 		}
 	}
+	return best
+}
+
+// keywordSuggestion proposes the closest known keyword for typo diagnostics.
+func keywordSuggestion(key string) string {
+	best := SuggestKeyword(key)
 	if best == "" {
 		return ""
 	}

@@ -155,7 +155,46 @@ func dedupeByKey(rules []*cvl.Rule) []*cvl.Rule {
 		seen[id] = true
 		out = append(out, r)
 	}
-	return out
+	return disambiguateNames(out)
+}
+
+// disambiguateNames renames rules whose names collide after dedupe. A
+// rule's identity within a file is its type/name key (Rule.Key), so two
+// rules with the same name at different config paths would otherwise
+// shadow each other under the merge semantics. Colliding names are
+// qualified with section-path segments from the right (e.g. the
+// send_redirects leaves under conf/all and conf/default become
+// all_send_redirects and default_send_redirects), falling back to a
+// numeric suffix if the full path still collides.
+func disambiguateNames(rules []*cvl.Rule) []*cvl.Rule {
+	byName := make(map[string]int, len(rules))
+	for _, r := range rules {
+		byName[r.Name]++
+	}
+	used := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		if byName[r.Name] == 1 && !used[r.Name] {
+			used[r.Name] = true
+			continue
+		}
+		name := r.Name
+		var segs []string
+		if len(r.ConfigPath) > 0 {
+			segs = strings.Split(r.ConfigPath[0], "/")
+		}
+		for i := len(segs) - 1; i >= 0 && used[name]; i-- {
+			if segs[i] == "" {
+				continue
+			}
+			name = sanitize(segs[i]) + "_" + name
+		}
+		for i := 2; used[name]; i++ {
+			name = fmt.Sprintf("%s_%d", r.Name, i)
+		}
+		used[name] = true
+		r.Name = name
+	}
+	return rules
 }
 
 func sanitize(s string) string {

@@ -29,7 +29,7 @@ import (
 	"time"
 
 	configvalidator "configvalidator"
-	"configvalidator/internal/cvl"
+	"configvalidator/internal/analysis"
 	"configvalidator/internal/entity"
 	"configvalidator/internal/frames"
 	"configvalidator/internal/rules"
@@ -243,10 +243,13 @@ func (s *Server) validateEntity(w http.ResponseWriter, r *http.Request, ent conf
 	}
 }
 
+// lintResponse carries structured findings. Each finding has stable
+// fields {code, severity, file, line, col, rule, msg}; the text field
+// holds the rendered one-line form for clients that only display it.
 type lintResponse struct {
-	Errors   int      `json:"errors"`
-	Warnings int      `json:"warnings"`
-	Findings []string `json:"findings"`
+	Errors   int                       `json:"errors"`
+	Warnings int                       `json:"warnings"`
+	Findings []analysis.JSONDiagnostic `json:"findings"`
 }
 
 func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
@@ -258,15 +261,13 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
-	diags := cvl.Lint("request.yaml", content)
-	resp := lintResponse{Findings: make([]string, 0, len(diags))}
-	for _, d := range diags {
-		resp.Findings = append(resp.Findings, d.String())
-		if d.Level == cvl.LintError {
-			resp.Errors++
-		} else {
-			resp.Warnings++
-		}
+	// Single-file analysis: unresolved parent_cvl_file references are
+	// warnings here, since the request body has no surrounding project.
+	result := analysis.AnalyzeFile("request.yaml", content)
+	resp := lintResponse{Findings: make([]analysis.JSONDiagnostic, 0, len(result.Diagnostics))}
+	resp.Errors, resp.Warnings = result.Counts()
+	for _, d := range result.Diagnostics {
+		resp.Findings = append(resp.Findings, d.JSON())
 	}
 	writeJSON(w, resp)
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -213,15 +214,60 @@ func TestLintEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = resp.Body.Close() }()
-	var decoded lintResponse
+	// Decode against the raw wire shape, not lintResponse, so the JSON
+	// field names themselves are pinned.
+	var decoded struct {
+		Errors   int `json:"errors"`
+		Warnings int `json:"warnings"`
+		Findings []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Rule     string `json:"rule"`
+			Msg      string `json:"msg"`
+			Text     string `json:"text"`
+		} `json:"findings"`
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
 		t.Fatal(err)
 	}
 	if decoded.Errors != 1 || len(decoded.Findings) == 0 {
-		t.Errorf("lint = %+v", decoded)
+		t.Fatalf("lint = %+v", decoded)
 	}
-	if !strings.Contains(decoded.Findings[0], "config_name") {
-		t.Errorf("no typo suggestion: %v", decoded.Findings)
+	f := decoded.Findings[0]
+	if f.Code != "CVL003" || f.Severity != "error" || f.File != "request.yaml" || f.Line != 1 || f.Col != 1 {
+		t.Errorf("finding = %+v", f)
+	}
+	if !strings.Contains(f.Msg, "config_name") {
+		t.Errorf("no typo suggestion: %+v", f)
+	}
+	// The compatibility text field carries the rendered one-line form.
+	if !strings.Contains(f.Text, "request.yaml:1:1") || !strings.Contains(f.Text, "CVL003") {
+		t.Errorf("text = %q", f.Text)
+	}
+}
+
+// TestLintEndpointParentIsWarning pins the single-file analysis mode: a
+// parent_cvl_file reference cannot resolve inside a request body, so it
+// must surface as a warning, never an error.
+func TestLintEndpointParentIsWarning(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Post(srv.URL+"/v1/lint", "application/yaml", strings.NewReader("parent_cvl_file: base.yaml\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var decoded lintResponse
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Errors != 0 || decoded.Warnings == 0 {
+		t.Fatalf("lint = %+v", decoded)
+	}
+	if decoded.Findings[0].Code != "CVL101" || decoded.Findings[0].Severity != "warning" {
+		t.Errorf("finding = %+v", decoded.Findings[0])
 	}
 }
 
@@ -301,9 +347,14 @@ func TestLintOversizedBodyRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = resp.Body.Close()
+	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Errorf("status = %s (want 413)", resp.Status)
+	}
+	// The error body names the limit so clients can size retries.
+	out, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(out), fmt.Sprint(MaxLintBytes)) {
+		t.Errorf("413 body = %q", out)
 	}
 }
 

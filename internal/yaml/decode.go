@@ -176,6 +176,7 @@ func (p *parser) parseMapping(indent int) (any, error) {
 			return nil, err
 		}
 		m.Set(key, val)
+		m.SetKeyPos(key, Pos{Line: ln.num, Col: ln.indent + 1})
 	}
 }
 
@@ -605,6 +606,7 @@ func (f *flowParser) parseMap() (any, error) {
 	}
 	for {
 		f.skipSpace()
+		keyStart := f.pos
 		var key string
 		if f.pos < len(f.src) && (f.src[f.pos] == '\'' || f.src[f.pos] == '"') {
 			v, rest, err := parseQuoted(f.src[f.pos:], f.line)
@@ -633,6 +635,7 @@ func (f *flowParser) parseMap() (any, error) {
 			return nil, f.errf("duplicate flow mapping key %q", key)
 		}
 		m.Set(key, v)
+		m.SetKeyPos(key, Pos{Line: f.line, Col: keyStart + 1})
 		f.skipSpace()
 		if f.pos >= len(f.src) {
 			return nil, f.errf("unterminated flow mapping")

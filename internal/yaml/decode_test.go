@@ -428,3 +428,64 @@ l1:
 		t.Errorf("leaf = %q", v)
 	}
 }
+
+func TestDecodeKeyPositions(t *testing.T) {
+	src := `config_name: x
+nested:
+  inner: 1
+list:
+  - item_key: v
+`
+	m := asMap(t, mustDecode(t, src))
+	if p := m.KeyPos("config_name"); p.Line != 1 || p.Col != 1 {
+		t.Errorf("config_name pos = %v", p)
+	}
+	if p := m.KeyPos("nested"); p.Line != 2 || p.Col != 1 {
+		t.Errorf("nested pos = %v", p)
+	}
+	inner, _ := m.Map("nested")
+	if p := inner.KeyPos("inner"); p.Line != 3 || p.Col != 3 {
+		t.Errorf("inner pos = %v", p)
+	}
+	if p := m.Start(); p.Line != 1 || p.Col != 1 {
+		t.Errorf("start = %v", p)
+	}
+	seq, _ := m.Seq("list")
+	item := seq[0].(*Map)
+	if p := item.KeyPos("item_key"); p.Line != 5 || p.Col != 5 {
+		t.Errorf("item_key pos = %v", p)
+	}
+}
+
+func TestDecodeKeyPositionsMultiDoc(t *testing.T) {
+	src := "---\na: 1\n---\nb: 2\n"
+	docs, err := DecodeAll([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := docs[0].(*Map).KeyPos("a"); p.Line != 2 {
+		t.Errorf("a pos = %v", p)
+	}
+	if p := docs[1].(*Map).KeyPos("b"); p.Line != 4 {
+		t.Errorf("b pos = %v", p)
+	}
+}
+
+func TestKeyPosUnknownForProgrammaticMaps(t *testing.T) {
+	m := NewMap()
+	m.Set("k", 1)
+	if p := m.KeyPos("k"); !p.IsZero() {
+		t.Errorf("programmatic key pos = %v, want zero", p)
+	}
+	if !m.Start().IsZero() {
+		t.Errorf("programmatic start = %v, want zero", m.Start())
+	}
+	m.SetKeyPos("k", Pos{Line: 3, Col: 2})
+	if p := m.KeyPos("k"); p.Line != 3 || p.Col != 2 {
+		t.Errorf("explicit key pos = %v", p)
+	}
+	m.Delete("k")
+	if p := m.KeyPos("k"); !p.IsZero() {
+		t.Errorf("deleted key pos = %v, want zero", p)
+	}
+}

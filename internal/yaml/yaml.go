@@ -24,12 +24,33 @@ import (
 	"sort"
 )
 
+// Pos is a 1-based source position. The zero value means the position is
+// unknown (for example on a Map built programmatically rather than decoded).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsZero reports whether the position is unknown.
+func (p Pos) IsZero() bool { return p.Line == 0 }
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
 // Map is an insertion-ordered string-keyed mapping. YAML mappings decode to
 // *Map so that rule files keep their author-written key order, which matters
 // for linting, round-tripping, and stable report output.
+//
+// Decoded maps additionally carry the source position of each key token
+// (see KeyPos and Start), so tools such as the CVL static analyzer can point
+// diagnostics at the offending line. Positions inside flow mappings
+// ({k: v}) are relative to the start of the flow text and therefore
+// approximate in column; block mappings are exact.
 type Map struct {
-	keys []string
-	vals map[string]any
+	keys  []string
+	vals  map[string]any
+	pos   map[string]Pos
+	start Pos
 }
 
 // NewMap returns an empty ordered map.
@@ -85,12 +106,43 @@ func (m *Map) Delete(key string) {
 		return
 	}
 	delete(m.vals, key)
+	delete(m.pos, key)
 	for i, k := range m.keys {
 		if k == key {
 			m.keys = append(m.keys[:i], m.keys[i+1:]...)
 			break
 		}
 	}
+}
+
+// KeyPos returns the source position of key's key token. The zero Pos is
+// returned for maps built programmatically or keys set after decoding.
+func (m *Map) KeyPos(key string) Pos {
+	if m == nil {
+		return Pos{}
+	}
+	return m.pos[key]
+}
+
+// SetKeyPos records the source position of key's key token. The first
+// recorded position also becomes the map's Start when none is set yet.
+func (m *Map) SetKeyPos(key string, p Pos) {
+	if m.pos == nil {
+		m.pos = make(map[string]Pos)
+	}
+	m.pos[key] = p
+	if m.start.IsZero() {
+		m.start = p
+	}
+}
+
+// Start returns the position where the mapping begins (its first decoded
+// key), or the zero Pos when unknown.
+func (m *Map) Start() Pos {
+	if m == nil {
+		return Pos{}
+	}
+	return m.start
 }
 
 // String returns the value under key when it is a string. ok is false when

@@ -1,9 +1,21 @@
 #!/bin/sh
-# Full verification gate: build, vet, and race-enabled tests.
+# Full verification gate: build, lint, vet, and race-enabled tests.
 # Equivalent to `make ci`; kept as a script for environments without make.
 set -eu
 cd "$(dirname "$0")/.."
 
 go build ./...
+
+# Static analysis over the embedded CVL rule library (exit 1 on any
+# error-level diagnostic; warnings are reported but do not gate).
+go run ./cmd/cvlint -q -builtin
+
+fmt_out=$(gofmt -l .)
+if [ -n "$fmt_out" ]; then
+	echo "gofmt needed on:"
+	echo "$fmt_out"
+	exit 1
+fi
+
 go vet ./...
 go test -race ./...
