@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test vet race lint ci bench
+.PHONY: build test vet race lint fuzz ci bench
 
 build:
 	$(GO) build ./...
@@ -21,8 +22,14 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
 
+# Fuzz smoke: a short randomized pass over the parsers that face
+# untrusted input (one -fuzz target per invocation, as go test requires).
+fuzz:
+	$(GO) test -fuzz FuzzDecode -fuzztime $(FUZZTIME) -run FuzzDecode ./internal/yaml/
+	$(GO) test -fuzz FuzzSSHDParse -fuzztime $(FUZZTIME) -run FuzzSSHDParse ./internal/lens/
+
 # The full gate: what CI runs on every change.
-ci: build lint race
+ci: build lint race fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,230 @@
+package configvalidator
+
+// Chaos acceptance suite: a 50-entity fleet scanned with deterministic
+// faults armed in three pipeline layers — crawler reads, lens parsing,
+// and rule evaluation — plus one entity-access (walk) failure. The run
+// must complete with zero crashes, every injected fault must surface as
+// either a Degraded finding or a classified FleetResult.Err, and entities
+// the injector never touched must produce byte-identical reports to a
+// fault-free baseline.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"configvalidator/internal/entity"
+	"configvalidator/internal/faults"
+)
+
+const chaosFleetSize = 50
+
+// chaosEntity builds the i-th fleet member. Content varies per index so
+// byte-identical report comparison is meaningful, not vacuous.
+func chaosEntity(i int) Entity {
+	m := entity.NewMem(fmt.Sprintf("chaos-host-%02d", i), entity.TypeHost)
+	root := "no"
+	if i%3 == 0 {
+		root = "yes"
+	}
+	m.AddFile("/etc/ssh/sshd_config", []byte(fmt.Sprintf(
+		"Port %d\nPermitRootLogin %s\nProtocol 2\nPermitEmptyPasswords no\n", 2200+i, root)))
+	m.AddFile("/etc/nginx/nginx.conf", []byte(fmt.Sprintf(
+		"user nginx;\nhttp {\n    server_tokens off;\n    keepalive_timeout %d;\n}\n", 30+i)))
+	return m
+}
+
+func reportJSON(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rep, OutputOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestChaosFleetGracefulDegradation(t *testing.T) {
+	// Fault-free baseline, one report per entity.
+	baselineV, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := make(map[string][]byte, chaosFleetSize)
+	for i := 0; i < chaosFleetSize; i++ {
+		ent := chaosEntity(i)
+		rep, err := baselineV.Validate(ent)
+		if err != nil {
+			t.Fatalf("baseline validate %s: %v", ent.Name(), err)
+		}
+		if len(rep.Degraded()) != 0 {
+			t.Fatalf("baseline scan of %s degraded: %+v", ent.Name(), rep.Degraded()[0])
+		}
+		baseline[ent.Name()] = reportJSON(t, rep)
+	}
+
+	// Chaos run: faults in three layers plus one entity-access failure.
+	// The walk rule fires on the globally first walk call, which is by
+	// construction the first pipeline activity of whichever scan reaches
+	// it — so exactly one entity fails entity-level with no other faults
+	// consumed by its aborted scan, and the reconciliation below is exact.
+	inj := faults.MustNew(
+		faults.Rule{Op: faults.OpWalk, Nth: 1, Kind: faults.KindError, Msg: "layer store unreachable"},
+		faults.Rule{Op: faults.OpRead, Path: "sshd_config", Every: 3, Times: 5, Kind: faults.KindError, Msg: "disk read failed"},
+		faults.Rule{Op: faults.OpParse, Path: "nginx.conf", Every: 4, Times: 4, Kind: faults.KindPanic},
+		faults.Rule{Op: faults.OpEval, Path: "sshd/", Every: 7, Times: 8, Kind: faults.KindError, Msg: "evaluator wedged"},
+	)
+	collector := NewCollector()
+	chaosV, err := New(WithFaults(inj), WithTelemetry(collector))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan Entity)
+	go func() {
+		defer close(ch)
+		for i := 0; i < chaosFleetSize; i++ {
+			ch <- chaosEntity(i)
+		}
+	}()
+	var results []FleetResult
+	for res := range chaosV.ValidateFleet(context.Background(), ch, FleetOptions{Workers: 8}) {
+		results = append(results, res)
+	}
+	if len(results) != chaosFleetSize {
+		t.Fatalf("fleet returned %d results, want %d", len(results), chaosFleetSize)
+	}
+
+	// Zero crashes: every result is a report or a classified error, and
+	// every error traces back to the injector, not to a real failure.
+	var scanErrs int
+	var degradedTotal int64
+	layers := map[string]int{"read": 0, "parse": 0, "eval": 0}
+	var clean, compared int
+	for _, res := range results {
+		if res.Err != nil {
+			scanErrs++
+			if !errors.Is(res.Err, faults.ErrInjected) {
+				t.Errorf("scan error not classified as injected: %v", res.Err)
+			}
+			var pe *PanicError
+			if errors.As(res.Err, &pe) {
+				t.Errorf("injected fault escaped as panic: %v", res.Err)
+			}
+			continue
+		}
+		degraded := res.Report.Degraded()
+		degradedTotal += int64(len(degraded))
+		for _, d := range degraded {
+			switch {
+			case strings.Contains(d.Message, "crawler: read"):
+				layers["read"]++
+			case strings.Contains(d.Message, "read/parse panicked"):
+				layers["parse"]++
+			case strings.Contains(d.Message, "evaluator wedged"):
+				layers["eval"]++
+			default:
+				t.Errorf("unattributed degraded finding: %q", d.Message)
+			}
+		}
+		if len(degraded) == 0 {
+			clean++
+			want, ok := baseline[res.Report.EntityName]
+			if !ok {
+				t.Fatalf("unknown entity %q in fleet results", res.Report.EntityName)
+			}
+			if got := reportJSON(t, res.Report); !bytes.Equal(got, want) {
+				t.Errorf("non-faulted entity %s: chaos report differs from fault-free baseline", res.Report.EntityName)
+			}
+			compared++
+		}
+	}
+	if scanErrs != 1 {
+		t.Errorf("scan errors = %d, want exactly 1 (the walk fault)", scanErrs)
+	}
+	for layer, n := range layers {
+		if n == 0 {
+			t.Errorf("no degraded findings surfaced from the %s layer", layer)
+		}
+	}
+	if compared == 0 {
+		t.Error("no clean entities left to compare against the baseline")
+	}
+
+	// Exact reconciliation: every injected fault is accounted for — one
+	// walk fault became the scan error, the rest are degraded findings.
+	if got := inj.Injected(); got != degradedTotal+1 {
+		t.Errorf("injected %d faults, surfaced %d degraded findings + 1 scan error", got, degradedTotal)
+	}
+
+	// Telemetry agrees: degraded results counted, in-flight gauge drained.
+	snap := collector.Snapshot()
+	if got := snap.ResultsByStatus[StatusDegraded]; got != degradedTotal {
+		t.Errorf("telemetry degraded = %d, want %d", got, degradedTotal)
+	}
+	if snap.InFlightScans != 0 {
+		t.Errorf("in-flight gauge = %d after fleet drained, want 0", snap.InFlightScans)
+	}
+
+	// Summarize sees the same world.
+	resend := make(chan FleetResult, len(results))
+	for _, r := range results {
+		resend <- r
+	}
+	close(resend)
+	sum := Summarize(resend)
+	if sum.Errors != scanErrs || sum.Scanned != chaosFleetSize-scanErrs {
+		t.Errorf("summary scanned=%d errors=%d, want %d/%d", sum.Scanned, sum.Errors, chaosFleetSize-scanErrs, scanErrs)
+	}
+	if int64(sum.ByStatus[StatusDegraded]) != degradedTotal {
+		t.Errorf("summary degraded = %d, want %d", sum.ByStatus[StatusDegraded], degradedTotal)
+	}
+	if sum.EntitiesDegraded != chaosFleetSize-scanErrs-clean {
+		t.Errorf("summary entities_degraded = %d, want %d", sum.EntitiesDegraded, chaosFleetSize-scanErrs-clean)
+	}
+	if !strings.Contains(sum.String(), "entities_degraded=") {
+		t.Errorf("summary digest missing degraded field: %s", sum.String())
+	}
+}
+
+// TestChaosTransientReadRetriesToClean shows the degradation and retry
+// policies composing: a transient *walk* fault aborts the first attempt
+// entity-level, the fleet retries, and the second attempt comes back
+// clean — no degraded findings, no error.
+func TestChaosTransientWalkRetriesToClean(t *testing.T) {
+	inj := faults.MustNew(
+		faults.Rule{Op: faults.OpWalk, Nth: 1, Kind: faults.KindTransient, Msg: "backend briefly away"},
+	)
+	v, err := New(WithFaults(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := sendEntities(chaosEntity(1))
+	res := <-v.ValidateFleet(context.Background(), ch, FleetOptions{
+		Workers: 1, Retries: 2, RetryBackoff: time.Millisecond,
+	})
+	if res.Err != nil {
+		t.Fatalf("retry did not recover from transient walk fault: %v", res.Err)
+	}
+	if n := len(res.Report.Degraded()); n != 0 {
+		t.Fatalf("recovered scan has %d degraded findings, want 0", n)
+	}
+	if inj.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", inj.Injected())
+	}
+}
+
+// TestValidateTargetUnknownClassified pins the ErrUnknownTarget sentinel
+// the HTTP layer uses to keep caller mistakes out of breaker accounting.
+func TestValidateTargetUnknownClassified(t *testing.T) {
+	v, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = v.ValidateTarget(chaosEntity(0), "no-such-target")
+	if !errors.Is(err, ErrUnknownTarget) {
+		t.Fatalf("err = %v, want ErrUnknownTarget", err)
+	}
+}

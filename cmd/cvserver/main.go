@@ -7,8 +7,19 @@
 //	crawlframe -demo host -out host.frame
 //	curl --data-binary @host.frame http://localhost:8080/v1/validate/frame
 //	curl http://localhost:8080/metrics        # scan + HTTP runtime metrics
+//	curl http://localhost:8080/readyz         # breaker / drain readiness
 //
-// Uploads beyond -max-upload bytes are rejected with HTTP 413.
+// Uploads beyond -max-upload bytes are rejected with HTTP 413. Validation
+// routes run behind overload protection: at most -max-inflight concurrent
+// validations with a -queue-sized wait queue (excess requests shed with
+// 429 + Retry-After), a per-request -validate-timeout, and a circuit
+// breaker that opens after -breaker-threshold consecutive server-side
+// failures for -breaker-cooldown. On SIGINT/SIGTERM the server drains:
+// /readyz flips to 503, in-flight validations finish, then the listener
+// closes.
+//
+// Setting CV_FAULTS arms deterministic fault injection in the validation
+// pipeline (chaos drills); see docs/OPERATIONS.md.
 package main
 
 import (
@@ -22,8 +33,12 @@ import (
 	"syscall"
 	"time"
 
+	configvalidator "configvalidator"
 	"configvalidator/internal/server"
 )
+
+// faultsEnvVar names the fault-injection spec variable for log lines.
+const faultsEnvVar = "CV_FAULTS"
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -36,17 +51,46 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("cvserver", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	maxUpload := fs.Int64("max-upload", server.MaxFrameBytes, "largest accepted frame/tar body in bytes (oversized uploads get HTTP 413)")
+	maxInFlight := fs.Int("max-inflight", 0, "concurrent validation requests admitted (0 = default)")
+	maxQueue := fs.Int("queue", 0, "validation requests allowed to wait for a slot (0 = default)")
+	queueWait := fs.Duration("queue-wait", 0, "longest a queued validation request waits before shedding (0 = default)")
+	validateTimeout := fs.Duration("validate-timeout", 0, "per-request validation timeout (0 = default)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive server-side failures that open the circuit breaker (0 = default)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "how long the breaker stays open before probing (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *maxUpload <= 0 {
 		return fmt.Errorf("-max-upload must be positive")
 	}
-	s, err := server.New(nil)
+	inj, err := configvalidator.FaultsFromEnv()
+	if err != nil {
+		return err
+	}
+	var validator *configvalidator.Validator
+	if inj != nil {
+		fmt.Fprintf(os.Stderr, "cvserver: fault injection armed via %s\n", faultsEnvVar)
+		validator, err = configvalidator.New(
+			configvalidator.WithTelemetry(configvalidator.NewCollector()),
+			configvalidator.WithFaults(inj),
+		)
+		if err != nil {
+			return err
+		}
+	}
+	s, err := server.New(validator)
 	if err != nil {
 		return err
 	}
 	s.MaxUploadBytes = *maxUpload
+	s.Limits = server.Limits{
+		MaxInFlight:      *maxInFlight,
+		MaxQueue:         *maxQueue,
+		QueueWait:        *queueWait,
+		ValidateTimeout:  *validateTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+	}
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
@@ -70,9 +114,15 @@ func run(args []string) error {
 		}
 		return err
 	case sig := <-stop:
-		fmt.Fprintf(os.Stderr, "received %v, shutting down\n", sig)
+		fmt.Fprintf(os.Stderr, "received %v, draining\n", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
+		// Drain first: /readyz flips not-ready and new validations are
+		// rejected while admitted ones run to completion; then close the
+		// listener and remaining (cheap) connections.
+		if err := s.BeginDrain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "cvserver: drain: %v\n", err)
+		}
 		if err := httpServer.Shutdown(ctx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
 		}

@@ -59,7 +59,14 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		return fmt.Errorf("interval must be positive")
 	}
 	collector := configvalidator.NewCollector()
-	v, err := configvalidator.New(configvalidator.WithTelemetry(collector))
+	vopts := []configvalidator.Option{configvalidator.WithTelemetry(collector)}
+	if inj, err := configvalidator.FaultsFromEnv(); err != nil {
+		return err
+	} else if inj != nil {
+		fmt.Fprintln(errOut, "cvwatch: fault injection armed via CV_FAULTS")
+		vopts = append(vopts, configvalidator.WithFaults(inj))
+	}
+	v, err := configvalidator.New(vopts...)
 	if err != nil {
 		return err
 	}
@@ -105,11 +112,15 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		}
 		scans++
 		counts := report.Counts()
-		fmt.Fprintf(out, "[scan %d] %s: %d pass, %d fail, %d n/a\n",
+		fmt.Fprintf(out, "[scan %d] %s: %d pass, %d fail, %d n/a",
 			scans, report.EntityName,
 			counts[configvalidator.StatusPass],
 			counts[configvalidator.StatusFail],
 			counts[configvalidator.StatusNotApplicable])
+		if n := counts[configvalidator.StatusDegraded]; n > 0 {
+			fmt.Fprintf(out, ", %d degraded", n)
+		}
+		fmt.Fprintln(out)
 		fmt.Fprintf(errOut, "cvwatch progress: %s\n", collector.Snapshot())
 		if previous != nil {
 			drift := output.DiffReports(previous, report)
@@ -154,6 +165,8 @@ func serveMetrics(addr string, collector *configvalidator.Collector, errOut io.W
 	return func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		_ = srv.Shutdown(ctx)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(errOut, "cvwatch: metrics server shutdown: %v\n", err)
+		}
 	}, nil
 }

@@ -82,7 +82,7 @@ func ExampleWriteText() {
 	}
 	// Output:
 	// Entity: demo (host)
-	// Checks: 1 total, 0 passed, 1 failed, 0 not applicable, 0 errors
+	// Checks: 1 total, 0 passed, 1 failed, 0 not applicable, 0 errors, 0 degraded
 	//
 	// [FAIL] sysctl/net/ipv4/ip_forward: IP forwarding is enabled.
 	//         file: /etc/sysctl.conf

@@ -19,6 +19,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -49,7 +50,13 @@ func run() error {
 	}
 	httpServer := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = httpServer.Serve(listener) }()
-	defer func() { _ = httpServer.Close() }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(ctx); err != nil {
+			log.Printf("touchless: server shutdown: %v", err)
+		}
+	}()
 	baseURL := "http://" + listener.Addr().String()
 	fmt.Printf("validation service: %s\n", baseURL)
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -44,9 +45,11 @@ type FleetOptions struct {
 	// scan fails with a Transient error (timeouts, marked-transient
 	// crawler failures). Permanent errors are never retried.
 	Retries int
-	// RetryBackoff is the delay before the first retry, doubled after
-	// each subsequent transient failure and capped at 5s; 0 means 50ms.
-	// Backoff waits honor context cancellation.
+	// RetryBackoff is the base delay before the first retry; 0 means 50ms.
+	// Subsequent waits use decorrelated jitter — each sleep is drawn
+	// uniformly from [base, 3×previous], capped at 5s — so a fleet of
+	// entities failing together against one flaky backend does not retry
+	// in lockstep. Backoff waits honor context cancellation.
 	RetryBackoff time.Duration
 }
 
@@ -54,6 +57,24 @@ const (
 	defaultRetryBackoff = 50 * time.Millisecond
 	maxRetryBackoff     = 5 * time.Second
 )
+
+// jitterInt63n is the randomness source for retry jitter — a seam so tests
+// can pin it and assert backoff bounds deterministically.
+var jitterInt63n = rand.Int63n
+
+// nextBackoff draws the next decorrelated-jitter sleep: uniform in
+// [base, 3×prev], capped at maxRetryBackoff. With base == prev == cap the
+// draw degenerates to the cap, so backoff never exceeds 5s.
+func nextBackoff(base, prev time.Duration) time.Duration {
+	upper := 3 * prev
+	if upper > maxRetryBackoff {
+		upper = maxRetryBackoff
+	}
+	if upper <= base {
+		return base
+	}
+	return base + time.Duration(jitterInt63n(int64(upper-base)+1))
+}
 
 // ValidateFleet validates a stream of entities concurrently — the
 // production workload of the paper's §5, where tens of thousands of images
@@ -105,12 +126,13 @@ func (v *Validator) ValidateFleet(ctx context.Context, entities <-chan Entity, o
 
 // scanOne validates one entity under the fleet's robustness policy:
 // per-attempt deadline, panic isolation, and bounded retry with
-// exponential backoff for transient failures.
+// decorrelated-jitter backoff for transient failures.
 func (v *Validator) scanOne(ctx context.Context, ent Entity, opts FleetOptions) FleetResult {
-	backoff := opts.RetryBackoff
-	if backoff <= 0 {
-		backoff = defaultRetryBackoff
+	base := opts.RetryBackoff
+	if base <= 0 {
+		base = defaultRetryBackoff
 	}
+	backoff := base
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		rep, err := v.scanAttempt(ctx, ent, opts.Target, opts.ScanTimeout)
@@ -122,14 +144,14 @@ func (v *Validator) scanOne(ctx context.Context, ent Entity, opts FleetOptions) 
 			break
 		}
 		v.telemetry.RetryScheduled()
+		timer := time.NewTimer(backoff)
 		select {
 		case <-ctx.Done():
+			timer.Stop()
 			return FleetResult{Err: fmt.Errorf("scan %s: %w", ent.Name(), ctx.Err())}
-		case <-time.After(backoff):
+		case <-timer.C:
 		}
-		if backoff *= 2; backoff > maxRetryBackoff {
-			backoff = maxRetryBackoff
-		}
+		backoff = nextBackoff(base, backoff)
 	}
 	return FleetResult{Err: fmt.Errorf("scan %s: %w", ent.Name(), lastErr)}
 }
@@ -201,6 +223,10 @@ type FleetSummary struct {
 	// rule result (crawler or lens blowups that did not abort the scan).
 	// Such an entity is not a clean scan even when nothing failed.
 	EntitiesWithErrors int
+	// EntitiesDegraded counts entities with at least one degraded result:
+	// the scan completed but some checks ran on incomplete input data
+	// (unreadable files, panicking lenses or rules).
+	EntitiesDegraded int
 }
 
 // Summarize drains a fleet-result channel into a summary.
@@ -222,6 +248,9 @@ func Summarize(results <-chan FleetResult) FleetSummary {
 		if counts[StatusError] > 0 {
 			out.EntitiesWithErrors++
 		}
+		if counts[StatusDegraded] > 0 {
+			out.EntitiesDegraded++
+		}
 	}
 	return out
 }
@@ -229,8 +258,8 @@ func Summarize(results <-chan FleetResult) FleetSummary {
 // String renders the summary as a one-line operator digest.
 func (s FleetSummary) String() string {
 	return fmt.Sprintf(
-		"scanned=%d errors=%d entities_with_findings=%d entities_with_errors=%d pass=%d fail=%d n/a=%d rule_errors=%d",
-		s.Scanned, s.Errors, s.EntitiesWithFindings, s.EntitiesWithErrors,
+		"scanned=%d errors=%d entities_with_findings=%d entities_with_errors=%d entities_degraded=%d pass=%d fail=%d n/a=%d rule_errors=%d degraded=%d",
+		s.Scanned, s.Errors, s.EntitiesWithFindings, s.EntitiesWithErrors, s.EntitiesDegraded,
 		s.ByStatus[StatusPass], s.ByStatus[StatusFail],
-		s.ByStatus[StatusNotApplicable], s.ByStatus[StatusError])
+		s.ByStatus[StatusNotApplicable], s.ByStatus[StatusError], s.ByStatus[StatusDegraded])
 }

@@ -536,3 +536,95 @@ func BenchmarkFleetParallel(b *testing.B) {
 		})
 	}
 }
+
+// alwaysTransientEntity fails every crawl with a transient error, so
+// retry-path tests can park scanOne in its backoff wait at will.
+type alwaysTransientEntity struct {
+	*entity.Mem
+}
+
+func (a *alwaysTransientEntity) Walk(root string, fn func(entity.FileInfo) error) error {
+	return MarkTransient(errors.New("backend always busy"))
+}
+
+// TestValidateFleetCancelDuringBackoff pins the backoff wait to the
+// context: cancelling mid-wait must return promptly with the context
+// error, not sleep out the remaining backoff.
+func TestValidateFleetCancelDuringBackoff(t *testing.T) {
+	v, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent := &alwaysTransientEntity{Mem: entity.NewMem("busy-host", entity.TypeHost)}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res := v.scanOne(ctx, ent, FleetOptions{Retries: 3, RetryBackoff: 30 * time.Second})
+	elapsed := time.Since(start)
+	if res.Err == nil || !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("res.Err = %v, want context.Canceled", res.Err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancel during backoff took %v, want prompt return", elapsed)
+	}
+}
+
+// TestPanicErrorFormatting pins the *PanicError message shape: the panic
+// value and the captured stack must both be present, so fleet logs are
+// debuggable without re-reproducing the crash.
+func TestPanicErrorFormatting(t *testing.T) {
+	pe := &PanicError{Value: "slice index out of range", Stack: []byte("goroutine 7 [running]:\nmain.crash()")}
+	msg := pe.Error()
+	if !strings.Contains(msg, "scan panicked: slice index out of range") {
+		t.Errorf("message %q missing panic value", msg)
+	}
+	if !strings.Contains(msg, "goroutine 7 [running]") {
+		t.Errorf("message %q missing stack", msg)
+	}
+}
+
+// TestNextBackoffBounds pins the decorrelated-jitter contract: each wait
+// is drawn from [base, 3×previous] and never exceeds the 5s cap.
+func TestNextBackoffBounds(t *testing.T) {
+	defer func(orig func(int64) int64) { jitterInt63n = orig }(jitterInt63n)
+
+	base := 50 * time.Millisecond
+	jitterInt63n = func(n int64) int64 { return n - 1 } // worst case: max draw
+	if got, want := nextBackoff(base, base), 3*base; got != want {
+		t.Errorf("max draw = %v, want %v (3x previous)", got, want)
+	}
+	if got := nextBackoff(base, maxRetryBackoff); got != maxRetryBackoff {
+		t.Errorf("max draw at cap = %v, want %v", got, maxRetryBackoff)
+	}
+	jitterInt63n = func(n int64) int64 { return 0 } // best case: min draw
+	if got := nextBackoff(base, 10*base); got != base {
+		t.Errorf("min draw = %v, want base %v", got, base)
+	}
+	if got := nextBackoff(maxRetryBackoff, maxRetryBackoff); got != maxRetryBackoff {
+		t.Errorf("base at cap = %v, want %v", got, maxRetryBackoff)
+	}
+}
+
+// TestNextBackoffStaysBounded walks the real (unpinned) jitter a few
+// hundred steps and asserts the invariant holds for every draw.
+func TestNextBackoffStaysBounded(t *testing.T) {
+	base := 50 * time.Millisecond
+	prev := base
+	for i := 0; i < 500; i++ {
+		next := nextBackoff(base, prev)
+		upper := 3 * prev
+		if upper > maxRetryBackoff {
+			upper = maxRetryBackoff
+		}
+		if lower := base; upper < lower {
+			upper = lower
+		}
+		if next < base || next > upper {
+			t.Fatalf("step %d: backoff %v outside [%v, %v]", i, next, base, upper)
+		}
+		prev = next
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"configvalidator/internal/entity"
+	"configvalidator/internal/faults"
 	"configvalidator/internal/lens"
 )
 
@@ -36,6 +37,9 @@ type Options struct {
 	// IncludeUnrecognized records files with no matching lens (with a nil
 	// Result); by default they are skipped silently.
 	IncludeUnrecognized bool
+	// Faults arms fault injection on lens parsing (faults.OpParse). Nil —
+	// the production default — is inert and costs one nil check.
+	Faults *faults.Injector
 }
 
 // Crawler extracts configuration from entities using a lens registry.
@@ -62,6 +66,13 @@ func (c *Crawler) Registry() *lens.Registry { return c.registry }
 // recognized configuration file. Missing search paths are skipped (an
 // entity without /etc/mysql simply has no MySQL configuration). Files are
 // returned sorted by path, deduplicated across overlapping search paths.
+//
+// Failure granularity: a per-file problem (unreadable, oversized, or
+// unparseable content, including a panicking lens) degrades that one
+// FileConfig via its Err field and the crawl continues; a Walk failure is
+// an entity-access failure (unreachable layer, flaky backend) and aborts
+// with an error so the fleet's transient-retry policy can decide whether
+// to re-scan the whole entity.
 func (c *Crawler) CrawlPaths(e entity.Entity, searchPaths []string) ([]*FileConfig, error) {
 	seen := make(map[string]bool)
 	var out []*FileConfig
@@ -101,16 +112,33 @@ func (c *Crawler) crawlFile(e entity.Entity, fi entity.FileInfo) *FileConfig {
 		fc.Err = fmt.Errorf("crawler: %s: file size %d exceeds limit %d", fi.Path, fi.Size, c.opts.MaxFileSize)
 		return fc
 	}
+	c.readAndParse(e, fi, l, fc)
+	return fc
+}
+
+// readAndParse fills fc from the entity. It is isolated per file: a
+// panicking ReadFile or lens — a corrupt input hitting a parser bug —
+// degrades this one file (fc.Err) instead of aborting the entity scan.
+func (c *Crawler) readAndParse(e entity.Entity, fi entity.FileInfo, l lens.Lens, fc *FileConfig) {
+	defer func() {
+		if r := recover(); r != nil {
+			fc.Result = nil
+			fc.Err = fmt.Errorf("crawler: %s: read/parse panicked: %v", fi.Path, r)
+		}
+	}()
 	content, err := e.ReadFile(fi.Path)
 	if err != nil {
 		fc.Err = fmt.Errorf("crawler: read %s: %w", fi.Path, err)
-		return fc
+		return
+	}
+	if err := c.opts.Faults.Check(faults.OpParse, fi.Path); err != nil {
+		fc.Err = fmt.Errorf("crawler: parse %s: %w", fi.Path, err)
+		return
 	}
 	res, err := l.Parse(fi.Path, content)
 	if err != nil {
 		fc.Err = err
-		return fc
+		return
 	}
 	fc.Result = res
-	return fc
 }

@@ -12,6 +12,7 @@ import (
 	"configvalidator/internal/crawler"
 	"configvalidator/internal/cvl"
 	"configvalidator/internal/entity"
+	"configvalidator/internal/faults"
 	"configvalidator/internal/lens"
 	"configvalidator/internal/schema"
 )
@@ -20,6 +21,7 @@ import (
 type Engine struct {
 	crawler *crawler.Crawler
 	match   *matcher
+	faults  *faults.Injector
 }
 
 // New creates an engine. A nil crawler gets default options and the default
@@ -30,6 +32,10 @@ func New(c *crawler.Crawler) *Engine {
 	}
 	return &Engine{crawler: c, match: newMatcher()}
 }
+
+// SetFaults arms fault injection on rule evaluation (faults.OpEval, keyed
+// "entity/rule"). A nil injector — the production default — is inert.
+func (e *Engine) SetFaults(inj *faults.Injector) { e.faults = inj }
 
 // entityRun is the per-manifest-entry working state of one validation.
 type entityRun struct {
@@ -124,13 +130,15 @@ func (e *Engine) ValidateWithSource(ent entity.Entity, manifest *cvl.Manifest, s
 		runs[entry.Name] = run
 		order = append(order, entry.Name)
 
-		// Surface unparseable configuration as error-grade results.
+		// Surface unreadable or unparseable configuration as degraded
+		// results: the scan continues, but these files' checks cannot be
+		// trusted on this pass.
 		for _, fc := range configs {
 			if fc.Err != nil {
 				run.results = append(run.results, &Result{
 					EntityName:     ent.Name(),
 					ManifestEntity: entry.Name,
-					Status:         StatusError,
+					Status:         StatusDegraded,
 					Message:        fc.Err.Error(),
 					File:           fc.Path,
 				})
@@ -141,14 +149,14 @@ func (e *Engine) ValidateWithSource(ent entity.Entity, manifest *cvl.Manifest, s
 				composites = append(composites, deferredComposite{entry: entry, rule: rule})
 				continue
 			}
-			res := e.evalRule(ent, entry, rule, configs)
+			res := e.safeEvalRule(ent, entry, rule, configs)
 			run.results = append(run.results, res)
 		}
 	}
 
 	resolver := &runResolver{runs: runs}
 	for _, dc := range composites {
-		res := e.evalComposite(ent, dc.entry, dc.rule, resolver)
+		res := e.safeEvalComposite(ent, dc.entry, dc.rule, resolver)
 		runs[dc.entry.Name].results = append(runs[dc.entry.Name].results, res)
 	}
 
@@ -173,7 +181,7 @@ func (e *Engine) ValidateRules(ent entity.Entity, rules []*cvl.Rule, searchPaths
 			report.Results = append(report.Results, &Result{
 				EntityName:     ent.Name(),
 				ManifestEntity: entry.Name,
-				Status:         StatusError,
+				Status:         StatusDegraded,
 				Message:        fc.Err.Error(),
 				File:           fc.Path,
 			})
@@ -184,9 +192,37 @@ func (e *Engine) ValidateRules(ent entity.Entity, rules []*cvl.Rule, searchPaths
 			report.Results = append(report.Results, e.errorResult(ent, entry, rule, errors.New("composite rules require a manifest context")))
 			continue
 		}
-		report.Results = append(report.Results, e.evalRule(ent, entry, rule, configs))
+		report.Results = append(report.Results, e.safeEvalRule(ent, entry, rule, configs))
 	}
 	return report, nil
+}
+
+// safeEvalRule evaluates one rule with per-rule fault injection and panic
+// isolation: a panicking matcher, lens structure, or injected eval fault
+// degrades that single rule's result instead of aborting the entity scan.
+func (e *Engine) safeEvalRule(ent entity.Entity, entry *cvl.ManifestEntry, rule *cvl.Rule, configs []*crawler.FileConfig) (res *Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = e.degradedResult(ent, entry, rule, fmt.Errorf("rule evaluation panicked: %v", r))
+		}
+	}()
+	if err := e.faults.Check(faults.OpEval, entry.Name+"/"+rule.Name); err != nil {
+		return e.degradedResult(ent, entry, rule, err)
+	}
+	return e.evalRule(ent, entry, rule, configs)
+}
+
+// safeEvalComposite is safeEvalRule for composite rules.
+func (e *Engine) safeEvalComposite(ent entity.Entity, entry *cvl.ManifestEntry, rule *cvl.Rule, resolver cvl.CompositeResolver) (res *Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = e.degradedResult(ent, entry, rule, fmt.Errorf("composite evaluation panicked: %v", r))
+		}
+	}()
+	if err := e.faults.Check(faults.OpEval, entry.Name+"/"+rule.Name); err != nil {
+		return e.degradedResult(ent, entry, rule, err)
+	}
+	return e.evalComposite(ent, entry, rule, resolver)
 }
 
 func (e *Engine) evalRule(ent entity.Entity, entry *cvl.ManifestEntry, rule *cvl.Rule, configs []*crawler.FileConfig) *Result {
@@ -641,6 +677,16 @@ func (e *Engine) errorResult(ent entity.Entity, entry *cvl.ManifestEntry, rule *
 		ManifestEntity: entry.Name,
 		Rule:           rule,
 		Status:         StatusError,
+		Message:        err.Error(),
+	}
+}
+
+func (e *Engine) degradedResult(ent entity.Entity, entry *cvl.ManifestEntry, rule *cvl.Rule, err error) *Result {
+	return &Result{
+		EntityName:     ent.Name(),
+		ManifestEntity: entry.Name,
+		Rule:           rule,
+		Status:         StatusDegraded,
 		Message:        err.Error(),
 	}
 }

@@ -517,7 +517,7 @@ func TestBrokenConfigYieldsErrorResult(t *testing.T) {
 			ruleRes = r
 		}
 	}
-	if errRes == nil || errRes.Status != StatusError || errRes.File != "/etc/nginx/nginx.conf" {
+	if errRes == nil || errRes.Status != StatusDegraded || errRes.File != "/etc/nginx/nginx.conf" {
 		t.Fatalf("parse error result = %+v", errRes)
 	}
 	if ruleRes == nil || ruleRes.Status != StatusNotApplicable {

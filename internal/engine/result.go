@@ -27,6 +27,13 @@ const (
 	// StatusError means the rule could not be evaluated (parse failure,
 	// bad regex, missing column).
 	StatusError
+	// StatusDegraded means the input data for the check was incomplete —
+	// an unreadable or corrupt configuration file, a panicking lens, a
+	// crashed rule evaluation. Unlike StatusError (a bad rule), degraded
+	// results point at the entity's data; unlike a scan error, they never
+	// abort the entity: one unreadable sshd_config must not hide the 400
+	// other results of the scan.
+	StatusDegraded
 )
 
 // String returns the status name.
@@ -40,6 +47,8 @@ func (s Status) String() string {
 		return "N/A"
 	case StatusError:
 		return "ERROR"
+	case StatusDegraded:
+		return "DEGRADED"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -92,6 +101,18 @@ func (rep *Report) Failed() []*Result {
 	var out []*Result
 	for _, r := range rep.Results {
 		if r.Status == StatusFail {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Degraded returns the results whose input data was incomplete — the
+// checks an operator cannot trust on this scan.
+func (rep *Report) Degraded() []*Result {
+	var out []*Result
+	for _, r := range rep.Results {
+		if r.Status == StatusDegraded {
 			out = append(out, r)
 		}
 	}

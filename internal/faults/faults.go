@@ -1,0 +1,312 @@
+// Package faults is a deterministic, seedable fault injector for the
+// validation pipeline. Production config scanning (the paper's §5 runs
+// tens of thousands of entities daily) meets unreadable files, truncated
+// reads, hung backends, and crashing parsers as a matter of course; this
+// package makes those conditions reproducible so the pipeline's graceful
+// degradation can be tested instead of hoped for.
+//
+// An Injector holds a list of Rules. Each rule names an interception
+// point (Op), an optional path pattern, a deterministic trigger (Nth,
+// Every, After, Times), and a fault Kind: an injected error (optionally
+// transient), a short read, added latency, corrupted bytes, or a panic.
+// Interception points call Apply or Check; a nil or empty Injector is
+// inert, and every method is nil-receiver safe, so the hot path pays one
+// nil check and nothing else when injection is off.
+//
+// Injection is opt-in: tests construct injectors with New, and chaos runs
+// enable them with the CV_FAULTS environment variable (see Parse for the
+// spec grammar, and FromEnv).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	pathpkg "path"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Op names an interception point in the pipeline.
+type Op string
+
+// Interception points.
+const (
+	// OpRead is entity.ReadFile: errors, short reads, corruption, latency.
+	OpRead Op = "read"
+	// OpWalk is entity.Walk over one search path root.
+	OpWalk Op = "walk"
+	// OpStat is entity.Stat (path rules).
+	OpStat Op = "stat"
+	// OpFeature is entity.RunFeature (script rules, crawler plugins).
+	OpFeature Op = "feature"
+	// OpParse is the lens parse of one crawled file.
+	OpParse Op = "parse"
+	// OpEval is the evaluation of one rule; the path is "entity/rule".
+	OpEval Op = "eval"
+)
+
+// Kind selects what a triggered rule does.
+type Kind string
+
+// Fault kinds.
+const (
+	// KindError injects a permanent error.
+	KindError Kind = "error"
+	// KindTransient injects an error that classifies as retryable
+	// (it self-reports Temporary, which engine.Transient honors).
+	KindTransient Kind = "transient"
+	// KindShort truncates the operation's data to Bytes bytes — the
+	// short-read / truncated-config case.
+	KindShort Kind = "short"
+	// KindLatency sleeps Delay before the operation proceeds.
+	KindLatency Kind = "latency"
+	// KindCorrupt deterministically flips bits in the operation's data,
+	// derived from Seed and the firing index.
+	KindCorrupt Kind = "corrupt"
+	// KindPanic panics, exercising panic-isolation paths.
+	KindPanic Kind = "panic"
+)
+
+// ErrInjected is the sentinel every injected error wraps, so tests and
+// operators can tell a synthetic fault from a real one.
+var ErrInjected = errors.New("injected fault")
+
+// InjectedError is the error produced by KindError and KindTransient
+// rules. It wraps ErrInjected and, for transient faults, self-reports as
+// a temporary condition so the fleet retry classifier treats it as
+// retryable without this package importing the engine.
+type InjectedError struct {
+	// Op and Path locate the interception that fired.
+	Op   Op
+	Path string
+	// Msg is the rule's custom message, if any.
+	Msg string
+	// IsTransient marks the fault retryable.
+	IsTransient bool
+}
+
+// Error implements error.
+func (e *InjectedError) Error() string {
+	msg := e.Msg
+	if msg == "" {
+		msg = "injected fault"
+	}
+	return fmt.Sprintf("%s (at %s %s)", msg, e.Op, e.Path)
+}
+
+// Unwrap lets errors.Is(err, ErrInjected) identify synthetic faults.
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+// Temporary reports whether the fault should classify as transient.
+func (e *InjectedError) Temporary() bool { return e.IsTransient }
+
+// Rule is one fault-injection rule. The zero trigger fields mean "every
+// matching call"; set exactly one of Nth, Every, or After to narrow it,
+// and Times to bound the total number of firings.
+type Rule struct {
+	// Op is the interception point this rule applies to.
+	Op Op
+	// Path narrows the rule to matching paths: a substring of the full
+	// path, or a glob matched against the full path or its base name.
+	// Empty matches every path.
+	Path string
+
+	// Nth fires only on the Nth matching call (1-based).
+	Nth int
+	// Every fires on every Every-th matching call.
+	Every int
+	// After fires on every matching call after the first After calls.
+	After int
+	// Times caps the total number of firings (0 = unlimited).
+	Times int
+
+	// Kind selects the fault; KindError when empty.
+	Kind Kind
+	// Msg overrides the injected error message (error/transient kinds).
+	Msg string
+	// Delay is the added latency for KindLatency (default 10ms).
+	Delay time.Duration
+	// Bytes is the truncated length for KindShort.
+	Bytes int
+	// Seed drives deterministic corruption for KindCorrupt.
+	Seed int64
+}
+
+// ruleState is a Rule plus its call/fire counters.
+type ruleState struct {
+	Rule
+	calls atomic.Int64
+	fires atomic.Int64
+}
+
+func (r *ruleState) matches(op Op, path string) bool {
+	if r.Op != op {
+		return false
+	}
+	pat := r.Path
+	if pat == "" {
+		return true
+	}
+	if strings.Contains(path, pat) {
+		return true
+	}
+	if ok, err := pathpkg.Match(pat, path); err == nil && ok {
+		return true
+	}
+	if ok, err := pathpkg.Match(pat, pathpkg.Base(path)); err == nil && ok {
+		return true
+	}
+	return false
+}
+
+// shouldFire counts one matching call and decides whether the rule fires
+// on it. Counters are atomic, so concurrent fleet workers share one
+// deterministic total even though interleaving varies.
+func (r *ruleState) shouldFire() bool {
+	n := r.calls.Add(1)
+	switch {
+	case r.Nth > 0:
+		if n != int64(r.Nth) {
+			return false
+		}
+	case r.Every > 0:
+		if n%int64(r.Every) != 0 {
+			return false
+		}
+	case r.After > 0:
+		if n <= int64(r.After) {
+			return false
+		}
+	}
+	if fired := r.fires.Add(1); r.Times > 0 && fired > int64(r.Times) {
+		return false
+	}
+	return true
+}
+
+// Injector evaluates fault rules at pipeline interception points. All
+// methods are safe on a nil receiver (no-ops), so callers plumb a
+// possibly-nil *Injector unconditionally.
+type Injector struct {
+	rules    []*ruleState
+	injected atomic.Int64
+	sleep    func(time.Duration) // test seam; nil means time.Sleep
+}
+
+// New builds an injector from rules. Unknown kinds are rejected so a
+// typo'd chaos spec fails loudly instead of silently injecting nothing.
+func New(rules ...Rule) (*Injector, error) {
+	inj := &Injector{}
+	for i, r := range rules {
+		if r.Kind == "" {
+			r.Kind = KindError
+		}
+		switch r.Kind {
+		case KindError, KindTransient, KindShort, KindLatency, KindCorrupt, KindPanic:
+		default:
+			return nil, fmt.Errorf("faults: rule %d: unknown kind %q", i, r.Kind)
+		}
+		switch r.Op {
+		case OpRead, OpWalk, OpStat, OpFeature, OpParse, OpEval:
+		default:
+			return nil, fmt.Errorf("faults: rule %d: unknown op %q", i, r.Op)
+		}
+		inj.rules = append(inj.rules, &ruleState{Rule: r})
+	}
+	return inj, nil
+}
+
+// MustNew is New for static test fixtures; it panics on invalid rules.
+func MustNew(rules ...Rule) *Injector {
+	inj, err := New(rules...)
+	if err != nil {
+		panic(err)
+	}
+	return inj
+}
+
+// Enabled reports whether any rule is loaded. A nil injector is disabled.
+func (i *Injector) Enabled() bool { return i != nil && len(i.rules) > 0 }
+
+// Injected returns the total number of faults fired so far — the number
+// chaos tests reconcile against degraded findings in reports.
+func (i *Injector) Injected() int64 {
+	if i == nil {
+		return 0
+	}
+	return i.injected.Load()
+}
+
+// Check evaluates op/path against the rules for operations without a data
+// payload. It returns an injected error, sleeps for latency faults, or
+// panics for panic faults; otherwise nil.
+func (i *Injector) Check(op Op, path string) error {
+	_, err := i.Apply(op, path, nil)
+	return err
+}
+
+// Apply evaluates op/path against the rules and returns the (possibly
+// truncated or corrupted) data plus any injected error. Latency faults
+// sleep inline; panic faults panic. With no matching armed rule, data is
+// returned untouched.
+func (i *Injector) Apply(op Op, path string, data []byte) ([]byte, error) {
+	if i == nil || len(i.rules) == 0 {
+		return data, nil
+	}
+	for _, r := range i.rules {
+		if !r.matches(op, path) || !r.shouldFire() {
+			continue
+		}
+		i.injected.Add(1)
+		switch r.Kind {
+		case KindLatency:
+			d := r.Delay
+			if d <= 0 {
+				d = 10 * time.Millisecond
+			}
+			if i.sleep != nil {
+				i.sleep(d)
+			} else {
+				time.Sleep(d)
+			}
+		case KindPanic:
+			panic(fmt.Sprintf("faults: injected panic (at %s %s)", op, path))
+		case KindShort:
+			if n := r.Bytes; data != nil && n >= 0 && n < len(data) {
+				data = data[:n]
+			}
+		case KindCorrupt:
+			if len(data) > 0 {
+				data = corrupt(data, r.Seed, r.fires.Load())
+			}
+		case KindTransient:
+			return data, &InjectedError{Op: op, Path: path, Msg: r.Msg, IsTransient: true}
+		default: // KindError
+			return data, &InjectedError{Op: op, Path: path, Msg: r.Msg}
+		}
+	}
+	return data, nil
+}
+
+// corrupt returns a copy of data with deterministically chosen bits
+// flipped: the positions derive from an xorshift sequence seeded by the
+// rule's Seed and the firing index, so the same run corrupts the same
+// bytes every time.
+func corrupt(data []byte, seed, variant int64) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(variant)
+	if x == 0 {
+		x = 0x2545F4914F6CDD1D
+	}
+	flips := len(out)/16 + 1
+	for k := 0; k < flips; k++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		pos := int(x % uint64(len(out)))
+		out[pos] ^= 1 << ((x >> 8) % 8)
+	}
+	return out
+}

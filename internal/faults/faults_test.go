@@ -1,0 +1,308 @@
+package faults_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"configvalidator/internal/engine"
+	"configvalidator/internal/entity"
+	"configvalidator/internal/faults"
+)
+
+func TestDisabledInjectorIsInert(t *testing.T) {
+	var inj *faults.Injector // nil: the production default
+	if inj.Enabled() {
+		t.Fatal("nil injector reports enabled")
+	}
+	data := []byte("hello")
+	got, err := inj.Apply(faults.OpRead, "/etc/x", data)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("nil Apply = %q, %v", got, err)
+	}
+	if err := inj.Check(faults.OpWalk, "/etc"); err != nil {
+		t.Fatalf("nil Check = %v", err)
+	}
+	if inj.Injected() != 0 {
+		t.Fatal("nil injector counted injections")
+	}
+	empty, err := faults.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Enabled() {
+		t.Fatal("empty injector reports enabled")
+	}
+}
+
+// TestDisabledInjectorZeroAlloc pins the zero-cost-when-disabled claim:
+// the hot-path calls allocate nothing with injection off.
+func TestDisabledInjectorZeroAlloc(t *testing.T) {
+	var inj *faults.Injector
+	data := []byte("content")
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := inj.Apply(faults.OpRead, "/etc/ssh/sshd_config", data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled Apply allocates %v per run, want 0", allocs)
+	}
+	ent := entity.NewMem("h", entity.TypeHost)
+	if got := faults.Wrap(ent, nil); got != entity.Entity(ent) {
+		t.Error("Wrap with disabled injector did not return the original entity")
+	}
+}
+
+func TestTriggerNthFiresOnce(t *testing.T) {
+	inj := faults.MustNew(faults.Rule{Op: faults.OpRead, Nth: 3, Kind: faults.KindError})
+	var errs int
+	for i := 0; i < 10; i++ {
+		if _, err := inj.Apply(faults.OpRead, "/f", nil); err != nil {
+			errs++
+			if i != 2 {
+				t.Errorf("fired on call %d, want call 3", i+1)
+			}
+		}
+	}
+	if errs != 1 || inj.Injected() != 1 {
+		t.Errorf("errs = %d, injected = %d, want 1, 1", errs, inj.Injected())
+	}
+}
+
+func TestTriggerEveryAndTimes(t *testing.T) {
+	inj := faults.MustNew(faults.Rule{Op: faults.OpParse, Every: 2, Times: 3, Kind: faults.KindError})
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if _, err := inj.Apply(faults.OpParse, "/f", nil); err != nil {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{2, 4, 6} // every 2nd call, capped at 3 firings
+	if len(fired) != len(want) {
+		t.Fatalf("fired on %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired on %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestTriggerAfter(t *testing.T) {
+	inj := faults.MustNew(faults.Rule{Op: faults.OpWalk, After: 2, Kind: faults.KindError})
+	var errs int
+	for i := 0; i < 5; i++ {
+		if err := inj.Check(faults.OpWalk, "/etc"); err != nil {
+			errs++
+		}
+	}
+	if errs != 3 {
+		t.Errorf("errs = %d, want 3 (all calls after the 2nd)", errs)
+	}
+}
+
+func TestPathMatching(t *testing.T) {
+	inj := faults.MustNew(
+		faults.Rule{Op: faults.OpRead, Path: "sshd_config", Kind: faults.KindError},
+		faults.Rule{Op: faults.OpRead, Path: "*.conf", Kind: faults.KindTransient},
+	)
+	if _, err := inj.Apply(faults.OpRead, "/etc/ssh/sshd_config", nil); err == nil {
+		t.Error("substring match missed")
+	}
+	if _, err := inj.Apply(faults.OpRead, "/etc/nginx/nginx.conf", nil); err == nil {
+		t.Error("base-name glob match missed")
+	}
+	if _, err := inj.Apply(faults.OpRead, "/etc/passwd", nil); err != nil {
+		t.Errorf("unmatched path injected: %v", err)
+	}
+	if _, err := inj.Apply(faults.OpWalk, "/etc/ssh/sshd_config", nil); err != nil {
+		t.Errorf("wrong op injected: %v", err)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	inj := faults.MustNew(
+		faults.Rule{Op: faults.OpRead, Path: "perm", Kind: faults.KindError},
+		faults.Rule{Op: faults.OpRead, Path: "flaky", Kind: faults.KindTransient, Msg: "backend busy"},
+	)
+	_, permErr := inj.Apply(faults.OpRead, "/perm", nil)
+	_, flakyErr := inj.Apply(faults.OpRead, "/flaky", nil)
+	if permErr == nil || flakyErr == nil {
+		t.Fatalf("faults not injected: %v, %v", permErr, flakyErr)
+	}
+	if engine.Transient(permErr) {
+		t.Error("permanent injected error classified transient")
+	}
+	if !engine.Transient(flakyErr) {
+		t.Error("transient injected error classified permanent")
+	}
+	if !errors.Is(permErr, faults.ErrInjected) || !errors.Is(flakyErr, faults.ErrInjected) {
+		t.Error("injected errors do not wrap ErrInjected")
+	}
+}
+
+func TestShortRead(t *testing.T) {
+	inj := faults.MustNew(faults.Rule{Op: faults.OpRead, Kind: faults.KindShort, Bytes: 4})
+	got, err := inj.Apply(faults.OpRead, "/f", []byte("PermitRootLogin no\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "Perm" {
+		t.Errorf("short read = %q, want %q", got, "Perm")
+	}
+}
+
+func TestCorruptIsDeterministic(t *testing.T) {
+	content := []byte("PermitRootLogin no\nPort 22\nUsePAM yes\n")
+	run := func() []byte {
+		inj := faults.MustNew(faults.Rule{Op: faults.OpRead, Kind: faults.KindCorrupt, Seed: 42})
+		out, err := inj.Apply(faults.OpRead, "/f", content)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different corruption")
+	}
+	if bytes.Equal(a, content) {
+		t.Error("corruption changed nothing")
+	}
+	if !bytes.Equal(content, []byte("PermitRootLogin no\nPort 22\nUsePAM yes\n")) {
+		t.Error("corruption mutated the caller's slice")
+	}
+}
+
+func TestLatencySleeps(t *testing.T) {
+	inj := faults.MustNew(faults.Rule{Op: faults.OpRead, Kind: faults.KindLatency, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if _, err := inj.Apply(faults.OpRead, "/f", nil); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("latency fault slept %v, want >= 30ms", elapsed)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	inj := faults.MustNew(faults.Rule{Op: faults.OpParse, Kind: faults.KindPanic})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("panic kind did not panic")
+		}
+	}()
+	_ = inj.Check(faults.OpParse, "/f")
+}
+
+func TestWrapInterposesEntityAccess(t *testing.T) {
+	mem := entity.NewMem("h", entity.TypeHost)
+	mem.AddFile("/etc/ssh/sshd_config", []byte("Port 22\n"))
+	mem.SetFeature("sysctl.runtime", "1")
+	inj := faults.MustNew(
+		faults.Rule{Op: faults.OpRead, Kind: faults.KindError, Msg: "disk gone"},
+		faults.Rule{Op: faults.OpStat, Kind: faults.KindError},
+		faults.Rule{Op: faults.OpFeature, Kind: faults.KindError},
+		faults.Rule{Op: faults.OpWalk, Kind: faults.KindError},
+	)
+	wrapped := faults.Wrap(mem, inj)
+	if _, err := wrapped.ReadFile("/etc/ssh/sshd_config"); err == nil {
+		t.Error("read fault not injected")
+	}
+	if _, err := wrapped.Stat("/etc/ssh/sshd_config"); err == nil {
+		t.Error("stat fault not injected")
+	}
+	if _, err := wrapped.RunFeature("sysctl.runtime"); err == nil {
+		t.Error("feature fault not injected")
+	}
+	if err := wrapped.Walk("/etc", func(entity.FileInfo) error { return nil }); err == nil {
+		t.Error("walk fault not injected")
+	}
+	if wrapped.Name() != "h" {
+		t.Error("pass-through method broken")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	inj, err := faults.Parse("op=read path=sshd_config every=5 kind=transient msg=flaky; op=parse,nth=3,kind=panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inj.Enabled() {
+		t.Fatal("parsed injector disabled")
+	}
+	// First rule: every 5th sshd_config read is a transient error.
+	var errs int
+	for i := 0; i < 10; i++ {
+		if _, err := inj.Apply(faults.OpRead, "/etc/ssh/sshd_config", nil); err != nil {
+			errs++
+			if !engine.Transient(err) {
+				t.Errorf("spec transient fault classified permanent: %v", err)
+			}
+		}
+	}
+	if errs != 2 {
+		t.Errorf("every=5 over 10 calls fired %d times, want 2", errs)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",                                // no rules
+		"op=read kind=nope",               // unknown kind
+		"op=teleport kind=error",          // unknown op
+		"kind=error",                      // missing op
+		"op=read nth=x kind=error",        // bad integer
+		"op=read bogus=1 kind=error",      // unknown key
+		"op=read delay=fast kind=latency", // bad duration
+	} {
+		if _, err := faults.Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv(faults.EnvVar, "")
+	inj, err := faults.FromEnv()
+	if inj != nil || err != nil {
+		t.Fatalf("empty env = %v, %v", inj, err)
+	}
+	t.Setenv(faults.EnvVar, "op=read nth=1 kind=error")
+	inj, err = faults.FromEnv()
+	if err != nil || !inj.Enabled() {
+		t.Fatalf("set env = %v, %v", inj, err)
+	}
+	t.Setenv(faults.EnvVar, "op=read kind=gibberish")
+	if _, err = faults.FromEnv(); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+// The benchmark pair backs the zero-cost-when-disabled claim: a nil
+// injector's Apply must be free next to an armed one.
+//
+//	go test -bench BenchmarkApply -benchmem ./internal/faults/
+func BenchmarkApplyDisabled(b *testing.B) {
+	var inj *faults.Injector
+	data := []byte("PermitRootLogin no\nPort 22\n")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := inj.Apply(faults.OpRead, "/etc/ssh/sshd_config", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApplyArmedNonMatching(b *testing.B) {
+	inj := faults.MustNew(faults.Rule{Op: faults.OpParse, Path: "never-matches", Kind: faults.KindError})
+	data := []byte("PermitRootLogin no\nPort 22\n")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := inj.Apply(faults.OpRead, "/etc/ssh/sshd_config", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EnvVar is the environment variable chaos runs use to arm an injector
+// without code changes: CV_FAULTS holds a spec in the Parse grammar.
+// Commands that honor it (cvserver, cvwatch) log loudly when it is set.
+const EnvVar = "CV_FAULTS"
+
+// Parse builds an injector from a textual fault spec:
+//
+//	spec := rule (";" rule)*
+//	rule := term ((","|space) term)*
+//	term := key "=" value
+//
+// Keys: op (required: read|walk|stat|feature|parse|eval), kind (required:
+// error|transient|short|latency|corrupt|panic), path (substring or glob),
+// nth, every, after, times (integer triggers), msg (error text), delay
+// (Go duration, latency kind), bytes (short kind), seed (corrupt kind).
+//
+// Example — every 5th read of any sshd_config fails, and the 3rd nginx
+// parse panics:
+//
+//	CV_FAULTS="op=read path=sshd_config every=5 kind=error; op=parse path=nginx.conf nth=3 kind=panic"
+func Parse(spec string) (*Injector, error) {
+	var rules []Rule
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		rule, err := parseRule(raw)
+		if err != nil {
+			return nil, fmt.Errorf("faults: rule %q: %w", raw, err)
+		}
+		rules = append(rules, rule)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faults: spec %q contains no rules", spec)
+	}
+	return New(rules...)
+}
+
+func parseRule(raw string) (Rule, error) {
+	var r Rule
+	terms := strings.FieldsFunc(raw, func(c rune) bool { return c == ',' || c == ' ' || c == '\t' })
+	for _, term := range terms {
+		key, value, ok := strings.Cut(term, "=")
+		if !ok {
+			return r, fmt.Errorf("term %q is not key=value", term)
+		}
+		var err error
+		switch key {
+		case "op":
+			r.Op = Op(value)
+		case "kind":
+			r.Kind = Kind(value)
+		case "path":
+			r.Path = value
+		case "msg":
+			r.Msg = value
+		case "nth":
+			r.Nth, err = strconv.Atoi(value)
+		case "every":
+			r.Every, err = strconv.Atoi(value)
+		case "after":
+			r.After, err = strconv.Atoi(value)
+		case "times":
+			r.Times, err = strconv.Atoi(value)
+		case "bytes":
+			r.Bytes, err = strconv.Atoi(value)
+		case "seed":
+			r.Seed, err = strconv.ParseInt(value, 10, 64)
+		case "delay":
+			r.Delay, err = time.ParseDuration(value)
+		default:
+			return r, fmt.Errorf("unknown key %q", key)
+		}
+		if err != nil {
+			return r, fmt.Errorf("term %q: %w", term, err)
+		}
+	}
+	if r.Op == "" {
+		return r, fmt.Errorf("missing op=")
+	}
+	return r, nil
+}
+
+// FromEnv parses CV_FAULTS. Unset or empty returns (nil, nil): injection
+// stays disabled and costs nothing.
+func FromEnv() (*Injector, error) {
+	spec := strings.TrimSpace(os.Getenv(EnvVar))
+	if spec == "" {
+		return nil, nil
+	}
+	return Parse(spec)
+}

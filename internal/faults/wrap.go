@@ -1,0 +1,51 @@
+package faults
+
+import "configvalidator/internal/entity"
+
+// Wrap returns an entity whose filesystem and runtime access runs through
+// the injector: reads can fail, truncate, corrupt, or stall; walks, stats,
+// and feature calls can fail or panic. With a disabled injector the
+// original entity is returned unchanged, so the wrapped path costs nothing
+// when injection is off.
+func Wrap(e entity.Entity, inj *Injector) entity.Entity {
+	if !inj.Enabled() {
+		return e
+	}
+	return &faultEntity{Entity: e, inj: inj}
+}
+
+// faultEntity interposes the injector on the Entity methods the crawler
+// and rule engine exercise. Remaining methods pass through via embedding.
+type faultEntity struct {
+	entity.Entity
+	inj *Injector
+}
+
+func (f *faultEntity) ReadFile(path string) ([]byte, error) {
+	data, err := f.Entity.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return f.inj.Apply(OpRead, path, data)
+}
+
+func (f *faultEntity) Walk(root string, fn func(entity.FileInfo) error) error {
+	if err := f.inj.Check(OpWalk, root); err != nil {
+		return err
+	}
+	return f.Entity.Walk(root, fn)
+}
+
+func (f *faultEntity) Stat(path string) (entity.FileInfo, error) {
+	if err := f.inj.Check(OpStat, path); err != nil {
+		return entity.FileInfo{}, err
+	}
+	return f.Entity.Stat(path)
+}
+
+func (f *faultEntity) RunFeature(name string) (string, error) {
+	if err := f.inj.Check(OpFeature, name); err != nil {
+		return "", err
+	}
+	return f.Entity.RunFeature(name)
+}

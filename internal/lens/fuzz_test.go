@@ -1,0 +1,39 @@
+package lens
+
+import (
+	"testing"
+)
+
+// FuzzSSHDParse hammers the sshd lens with arbitrary bytes. Config files
+// reach lenses straight off scanned entities (including hostile tar
+// uploads), so a parser panic here is a crashed scan — the crawler's
+// per-file recovery catches it, but the lens should not rely on that.
+//
+//	go test -fuzz FuzzSSHDParse -fuzztime 10s ./internal/lens/
+func FuzzSSHDParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"Port 22\nPermitRootLogin no\n",
+		"PermitRootLogin=yes\n",
+		"Match User git\n  PasswordAuthentication no\n",
+		"# comment only\n",
+		"Key value # trailing\n",
+		"=\n= =\nKey=\n",
+		"Match\nPort 22\n",
+		"UsePAM yes\r\nX11Forwarding no\r\n",
+		"\x00\x01\x02 binary noise\n",
+		"Key    spaced   out   values\n",
+	} {
+		f.Add([]byte(seed))
+	}
+	lens := NewSSHD()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := lens.Parse("/etc/ssh/sshd_config", data)
+		if err != nil {
+			return
+		}
+		if res == nil || res.Tree == nil {
+			t.Fatal("nil result without error")
+		}
+	})
+}

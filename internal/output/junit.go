@@ -76,7 +76,7 @@ func WriteJUnit(w io.Writer, rep *engine.Report, opts Options) error {
 			case engine.StatusFail:
 				tc.Failure = msg
 				suite.Failures++
-			case engine.StatusError:
+			case engine.StatusError, engine.StatusDegraded:
 				tc.Error = msg
 				suite.Errors++
 			case engine.StatusNotApplicable:

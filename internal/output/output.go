@@ -36,9 +36,10 @@ func WriteText(w io.Writer, rep *engine.Report, opts Options) error {
 	if _, err := fmt.Fprintf(w, "Entity: %s (%s)\n", rep.EntityName, rep.EntityType); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "Checks: %d total, %d passed, %d failed, %d not applicable, %d errors\n\n",
+	fmt.Fprintf(w, "Checks: %d total, %d passed, %d failed, %d not applicable, %d errors, %d degraded\n\n",
 		len(results), counts[engine.StatusPass], counts[engine.StatusFail],
-		counts[engine.StatusNotApplicable], counts[engine.StatusError])
+		counts[engine.StatusNotApplicable], counts[engine.StatusError],
+		counts[engine.StatusDegraded])
 
 	for _, r := range results {
 		switch r.Status {

@@ -7,6 +7,7 @@
 // API:
 //
 //	GET  /healthz                 liveness
+//	GET  /readyz                  readiness (breaker + drain + queue state)
 //	GET  /metrics                 Prometheus-style runtime metrics
 //	GET  /v1/targets              built-in target list (Table 1)
 //	GET  /v1/rules/{target}       the target's CVL rule file
@@ -17,15 +18,26 @@
 // Upload bodies are bounded (MaxFrameBytes for frames and tars,
 // MaxLintBytes for lint input); oversized bodies are rejected with
 // HTTP 413 rather than silently truncated.
+//
+// Validation routes sit behind overload protection (see Limits): a
+// bounded in-flight limit with a bounded wait queue (excess requests are
+// shed with 429 and Retry-After), a per-request timeout, and a circuit
+// breaker that opens after consecutive server-side validation failures
+// (503 until its cooldown). /readyz reports 503 while the breaker is open
+// or the server is draining, so load balancers rotate the instance out
+// before clients see errors.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	configvalidator "configvalidator"
@@ -51,6 +63,21 @@ type Server struct {
 	// MaxUploadBytes bounds frame and tar bodies; New sets it to
 	// MaxFrameBytes. Operators may lower it before Handler is called.
 	MaxUploadBytes int64
+
+	// Limits tune overload protection on the validation routes; New sets
+	// defaults (see Limits). Operators may adjust them before Handler is
+	// called; later changes are ignored.
+	Limits Limits
+
+	initOnce sync.Once
+	lim      *limiter
+	brk      *breaker
+	draining atomic.Bool
+
+	// testGate, when set by tests before Handler, blocks each admitted
+	// validation request until a receive succeeds — the seam that makes
+	// overload tests deterministic (hold N slots, assert the N+1st sheds).
+	testGate chan struct{}
 }
 
 // New creates a server backed by the built-in rule library, or by the
@@ -74,6 +101,16 @@ func New(v *configvalidator.Validator) (*Server, error) {
 	return &Server{validator: v, metrics: m, MaxUploadBytes: MaxFrameBytes}, nil
 }
 
+// initAdmission freezes s.Limits and builds the admission gate and circuit
+// breaker; called once from Handler.
+func (s *Server) initAdmission() {
+	s.initOnce.Do(func() {
+		s.Limits = s.Limits.withDefaults()
+		s.lim = newLimiter(s.Limits, s.metrics)
+		s.brk = newBreaker(s.Limits, s.metrics)
+	})
+}
+
 // Metrics returns the server's telemetry collector.
 func (s *Server) Metrics() *telemetry.Collector { return s.metrics }
 
@@ -81,21 +118,100 @@ func (s *Server) Metrics() *telemetry.Collector { return s.metrics }
 // instrumentation (request count and latency by route and status code,
 // exposed at /metrics).
 func (s *Server) Handler() http.Handler {
+	s.initAdmission()
 	mux := http.NewServeMux()
 	handle := func(pattern string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.instrument(pattern, h))
+	}
+	// Validation routes additionally pass the admission gate and run under
+	// the per-request timeout; everything else stays cheap and ungated.
+	guarded := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern,
+			s.admit(http.TimeoutHandler(h, s.Limits.ValidateTimeout, "validation timed out\n"))))
 	}
 	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = io.WriteString(w, "ok\n")
 	})
+	handle("GET /readyz", s.handleReadyz)
 	handle("GET /metrics", s.handleMetrics)
 	handle("GET /v1/targets", s.handleTargets)
 	handle("GET /v1/rules/{target}", s.handleRules)
-	handle("POST /v1/validate/frame", s.handleValidateFrame)
-	handle("POST /v1/validate/tar", s.handleValidateTar)
+	guarded("POST /v1/validate/frame", s.handleValidateFrame)
+	guarded("POST /v1/validate/tar", s.handleValidateTar)
 	handle("POST /v1/lint", s.handleLint)
 	return mux
+}
+
+// admit gates a validation route: reject while draining, shed with 429 +
+// Retry-After when the in-flight limit and queue are saturated, and
+// reject with 503 while the circuit breaker is open. Admitted requests
+// hold an execution slot for their whole lifetime, which is what
+// BeginDrain waits on.
+func (s *Server) admit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", retryAfter(s.Limits.BreakerCooldown))
+			httpError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		if !s.brk.allow() {
+			w.Header().Set("Retry-After", retryAfter(s.Limits.BreakerCooldown))
+			httpError(w, http.StatusServiceUnavailable, "validation circuit breaker open")
+			return
+		}
+		if !s.lim.acquire(r.Context()) {
+			s.metrics.RequestShed()
+			w.Header().Set("Retry-After", retryAfter(s.Limits.QueueWait))
+			httpError(w, http.StatusTooManyRequests, "validation capacity exhausted, retry later")
+			return
+		}
+		defer s.lim.release()
+		if s.testGate != nil {
+			<-s.testGate
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// BeginDrain stops admitting validation requests (503 with Retry-After)
+// and waits for the in-flight ones to finish, or for ctx to expire.
+// Callers then shut the HTTP listener down; see cmd/cvserver.
+func (s *Server) BeginDrain(ctx context.Context) error {
+	s.initAdmission()
+	s.draining.Store(true)
+	for i := 0; i < cap(s.lim.slots); i++ {
+		select {
+		case s.lim.slots <- struct{}{}:
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain: %w", ctx.Err())
+		}
+	}
+	return nil
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// handleReadyz reports readiness: 503 while the circuit breaker is open
+// or the server is draining, 200 otherwise — distinct from /healthz,
+// which only answers "the process is up". The body carries the gate state
+// for operators.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	breakerOpen := s.brk.isOpen()
+	draining := s.draining.Load()
+	ready := !breakerOpen && !draining
+	w.Header().Set("Content-Type", "application/json")
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"ready":        ready,
+		"breaker_open": breakerOpen,
+		"draining":     draining,
+		"in_flight":    len(s.lim.slots),
+		"queued":       s.lim.queued.Load(),
+	})
 }
 
 // statusRecorder captures the response code for instrumentation.
@@ -221,17 +337,18 @@ func (s *Server) handleValidateTar(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) validateEntity(w http.ResponseWriter, r *http.Request, ent configvalidator.Entity) {
-	var report *configvalidator.Report
-	var err error
-	if target := r.URL.Query().Get("target"); target != "" {
-		report, err = s.validator.ValidateTarget(ent, target)
-	} else {
-		report, err = s.validator.Validate(ent)
-	}
+	report, err := s.runValidation(r, ent)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "validate: %v", err)
+		if errors.Is(err, configvalidator.ErrUnknownTarget) {
+			// Caller mistake: no breaker accounting.
+			httpError(w, http.StatusBadRequest, "validate: %v", err)
+			return
+		}
+		s.brk.failure()
+		httpError(w, http.StatusInternalServerError, "validate: %v", err)
 		return
 	}
+	s.brk.success()
 	opts := configvalidator.OutputOptions{}
 	if tags := r.URL.Query().Get("tags"); tags != "" {
 		opts.TagFilter = strings.Split(tags, ",")
@@ -241,6 +358,22 @@ func (s *Server) validateEntity(w http.ResponseWriter, r *http.Request, ent conf
 		// Headers already sent; nothing safe to do but log-level surface.
 		return
 	}
+}
+
+// runValidation executes the validation itself with panic isolation: a
+// panicking entity (hostile upload, parser bug past the crawler's per-file
+// recovery) becomes a server-side failure that feeds the circuit breaker
+// instead of killing the connection handler.
+func (s *Server) runValidation(r *http.Request, ent configvalidator.Entity) (report *configvalidator.Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			report, err = nil, fmt.Errorf("validation panicked: %v", p)
+		}
+	}()
+	if target := r.URL.Query().Get("target"); target != "" {
+		return s.validator.ValidateTarget(ent, target)
+	}
+	return s.validator.Validate(ent)
 }
 
 // lintResponse carries structured findings. Each finding has stable

@@ -126,9 +126,18 @@ type Collector struct {
 	panics   atomic.Int64
 	timeouts atomic.Int64
 
-	// Result counters by engine status. StatusPass..StatusError are
+	// Gauges and counters for the overload-protection layer: scans
+	// currently executing, HTTP requests waiting for an admission slot,
+	// requests shed at admission, and circuit-breaker state transitions.
+	inflight     atomic.Int64
+	queueDepth   atomic.Int64
+	shed         atomic.Int64
+	breakerOpens atomic.Int64
+	breakerOpen  atomic.Int64 // 0 closed/half-open, 1 open
+
+	// Result counters by engine status. StatusPass..StatusDegraded are
 	// 1-based and contiguous; index 0 is unused.
-	statuses [5]atomic.Int64
+	statuses [6]atomic.Int64
 
 	scanLatency histogram
 
@@ -199,6 +208,65 @@ func (c *Collector) RetryScheduled() {
 	c.retries.Add(1)
 }
 
+// ScanStarted marks one validation as executing; pair with ScanEnded. The
+// difference is the in-flight-scans gauge.
+func (c *Collector) ScanStarted() {
+	if c == nil {
+		return
+	}
+	c.inflight.Add(1)
+}
+
+// ScanEnded marks one validation as no longer executing.
+func (c *Collector) ScanEnded() {
+	if c == nil {
+		return
+	}
+	c.inflight.Add(-1)
+}
+
+// QueueEnter marks one HTTP request as waiting for an admission slot;
+// pair with QueueExit.
+func (c *Collector) QueueEnter() {
+	if c == nil {
+		return
+	}
+	c.queueDepth.Add(1)
+}
+
+// QueueExit marks one queued HTTP request as admitted or abandoned.
+func (c *Collector) QueueExit() {
+	if c == nil {
+		return
+	}
+	c.queueDepth.Add(-1)
+}
+
+// RequestShed records one HTTP request rejected at admission (429).
+func (c *Collector) RequestShed() {
+	if c == nil {
+		return
+	}
+	c.shed.Add(1)
+}
+
+// BreakerOpened records a circuit-breaker trip and sets the open gauge.
+func (c *Collector) BreakerOpened() {
+	if c == nil {
+		return
+	}
+	c.breakerOpens.Add(1)
+	c.breakerOpen.Store(1)
+}
+
+// BreakerClosed clears the circuit-breaker open gauge.
+func (c *Collector) BreakerClosed() {
+	if c == nil {
+		return
+	}
+	c.breakerOpen.Store(0)
+}
+
 // RequestDone records one HTTP request against a route pattern.
 func (c *Collector) RequestDone(route string, code int, d time.Duration) {
 	if c == nil {
@@ -218,6 +286,12 @@ type Snapshot struct {
 	// re-attempts of transient failures (each retried attempt is also
 	// counted in Scans when it completes).
 	Scans, Errors, Retries, Panics, Timeouts int64
+	// InFlightScans and QueueDepth are gauges: validations executing right
+	// now and HTTP requests waiting for an admission slot. Shed counts
+	// requests rejected at admission; BreakerOpens counts circuit-breaker
+	// trips and BreakerOpen reports whether it is open right now.
+	InFlightScans, QueueDepth, Shed, BreakerOpens int64
+	BreakerOpen                                   bool
 	// ResultsByStatus tallies individual rule results across all scans.
 	ResultsByStatus map[engine.Status]int64
 	// ScanLatency is the scan-duration histogram.
@@ -237,12 +311,17 @@ func (c *Collector) Snapshot() Snapshot {
 		Retries:         c.retries.Load(),
 		Panics:          c.panics.Load(),
 		Timeouts:        c.timeouts.Load(),
-		ResultsByStatus: make(map[engine.Status]int64, 4),
+		InFlightScans:   c.inflight.Load(),
+		QueueDepth:      c.queueDepth.Load(),
+		Shed:            c.shed.Load(),
+		BreakerOpens:    c.breakerOpens.Load(),
+		BreakerOpen:     c.breakerOpen.Load() != 0,
+		ResultsByStatus: make(map[engine.Status]int64, 5),
 		ScanLatency:     c.scanLatency.snapshot(),
 		HTTPRequests:    make(map[string]int64),
 		HTTPLatency:     c.httpLatency.snapshot(),
 	}
-	for _, status := range []engine.Status{engine.StatusPass, engine.StatusFail, engine.StatusNotApplicable, engine.StatusError} {
+	for _, status := range []engine.Status{engine.StatusPass, engine.StatusFail, engine.StatusNotApplicable, engine.StatusError, engine.StatusDegraded} {
 		if n := c.statuses[status].Load(); n != 0 {
 			s.ResultsByStatus[status] = n
 		}
@@ -279,10 +358,23 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 	counter("configvalidator_scan_retries_total", "Retries of transient scan failures.", s.Retries)
 	counter("configvalidator_scan_panics_total", "Scans that panicked and were isolated.", s.Panics)
 	counter("configvalidator_scan_timeouts_total", "Scans abandoned at their deadline.", s.Timeouts)
+	counter("configvalidator_requests_shed_total", "HTTP requests rejected at admission (429).", s.Shed)
+	counter("configvalidator_breaker_opens_total", "Circuit-breaker trips.", s.BreakerOpens)
+
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("configvalidator_inflight_scans", "Validations executing right now.", s.InFlightScans)
+	gauge("configvalidator_server_queue_depth", "HTTP requests waiting for an admission slot.", s.QueueDepth)
+	var breakerOpen int64
+	if s.BreakerOpen {
+		breakerOpen = 1
+	}
+	gauge("configvalidator_breaker_open", "Whether the validation circuit breaker is open (1) or closed (0).", breakerOpen)
 
 	fmt.Fprintf(&b, "# HELP configvalidator_results_total Rule results across all scans, by status.\n")
 	fmt.Fprintf(&b, "# TYPE configvalidator_results_total counter\n")
-	for _, status := range []engine.Status{engine.StatusPass, engine.StatusFail, engine.StatusNotApplicable, engine.StatusError} {
+	for _, status := range []engine.Status{engine.StatusPass, engine.StatusFail, engine.StatusNotApplicable, engine.StatusError, engine.StatusDegraded} {
 		fmt.Fprintf(&b, "configvalidator_results_total{status=%q} %d\n",
 			strings.ToLower(status.String()), s.ResultsByStatus[status])
 	}

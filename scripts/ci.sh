@@ -19,3 +19,9 @@ fi
 
 go vet ./...
 go test -race ./...
+
+# Fuzz smoke over the untrusted-input parsers; go test accepts one -fuzz
+# target per invocation, so each runs separately.
+fuzztime="${FUZZTIME:-10s}"
+go test -fuzz FuzzDecode -fuzztime "$fuzztime" -run FuzzDecode ./internal/yaml/
+go test -fuzz FuzzSSHDParse -fuzztime "$fuzztime" -run FuzzSSHDParse ./internal/lens/

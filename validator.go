@@ -17,6 +17,7 @@
 package configvalidator
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"configvalidator/internal/cvl"
 	"configvalidator/internal/engine"
 	"configvalidator/internal/entity"
+	"configvalidator/internal/faults"
 	"configvalidator/internal/lens"
 	"configvalidator/internal/output"
 	"configvalidator/internal/remediate"
@@ -58,6 +60,9 @@ type (
 	// PanicError is a recovered scan panic carrying the stack; fleet
 	// scanning converts worker panics into FleetResult.Err of this type.
 	PanicError = engine.PanicError
+	// FaultInjector is a deterministic fault injector for chaos testing;
+	// see WithFaults and the faults package.
+	FaultInjector = faults.Injector
 )
 
 // Status values, re-exported.
@@ -66,7 +71,17 @@ const (
 	StatusFail          = engine.StatusFail
 	StatusNotApplicable = engine.StatusNotApplicable
 	StatusError         = engine.StatusError
+	// StatusDegraded marks a check whose input data was incomplete — an
+	// unreadable or corrupt config file, a panicking lens or rule. The
+	// scan completed; this one result cannot be trusted.
+	StatusDegraded = engine.StatusDegraded
 )
+
+// ErrUnknownTarget reports a ValidateTarget call naming a manifest entity
+// that does not exist — a caller mistake, not a validation failure. The
+// HTTP service uses it to separate client errors from server-side faults
+// in its circuit-breaker accounting.
+var ErrUnknownTarget = errors.New("unknown manifest entity")
 
 // Validator is the configured validation pipeline. Rule files resolve
 // through a shared memoizing source, so repeated scans (fleets, watchers)
@@ -77,6 +92,7 @@ type Validator struct {
 	source    *engine.CachedSource
 	engine    *engine.Engine
 	telemetry *telemetry.Collector
+	faults    *faults.Injector
 }
 
 // Option customizes a Validator.
@@ -89,6 +105,7 @@ type config struct {
 	crawlOpt  crawler.Options
 	extended  bool
 	telemetry *telemetry.Collector
+	faults    *faults.Injector
 }
 
 // WithManifest uses a custom manifest and rule-file reader instead of the
@@ -130,6 +147,23 @@ func WithTelemetry(c *telemetry.Collector) Option {
 // NewCollector creates an empty metrics collector for WithTelemetry.
 func NewCollector() *Collector { return telemetry.NewCollector() }
 
+// WithFaults arms deterministic fault injection across the pipeline:
+// entity access (read/walk/stat/feature), lens parsing, and rule
+// evaluation. Chaos runs build the injector from the CV_FAULTS spec via
+// FaultsFromEnv; tests construct one programmatically. A nil injector is
+// inert, and with injection disabled the pipeline pays only nil checks —
+// no wrapping, no allocations.
+func WithFaults(inj *FaultInjector) Option {
+	return func(c *config) { c.faults = inj }
+}
+
+// ParseFaults builds a fault injector from a CV_FAULTS-style spec string.
+func ParseFaults(spec string) (*FaultInjector, error) { return faults.Parse(spec) }
+
+// FaultsFromEnv builds a fault injector from the CV_FAULTS environment
+// variable; unset returns (nil, nil) and injection stays disabled.
+func FaultsFromEnv() (*FaultInjector, error) { return faults.FromEnv() }
+
 // New builds a Validator. With no options it loads the built-in rule
 // library: 135 rules across the 11 targets of the paper's Table 1.
 func New(opts ...Option) (*Validator, error) {
@@ -157,13 +191,16 @@ func New(opts ...Option) (*Validator, error) {
 	if c.reader == nil {
 		return nil, fmt.Errorf("configvalidator: a manifest requires a rule-file reader")
 	}
+	c.crawlOpt.Faults = c.faults
 	eng := engine.New(crawler.New(c.registry, c.crawlOpt))
+	eng.SetFaults(c.faults)
 	return &Validator{
 		manifest:  c.manifest,
 		reader:    c.reader,
 		source:    engine.NewCachedSource(c.reader),
 		engine:    eng,
 		telemetry: c.telemetry,
+		faults:    c.faults,
 	}, nil
 }
 
@@ -188,22 +225,27 @@ func (v *Validator) record(start time.Time, rep *Report, err error) {
 // against the entity.
 func (v *Validator) Validate(e Entity) (*Report, error) {
 	start := time.Now()
-	rep, err := v.engine.ValidateWithSource(e, v.manifest, v.source)
+	v.telemetry.ScanStarted()
+	defer v.telemetry.ScanEnded()
+	rep, err := v.engine.ValidateWithSource(faults.Wrap(e, v.faults), v.manifest, v.source)
 	v.record(start, rep, err)
 	return rep, err
 }
 
-// ValidateTarget runs only the named manifest entity (e.g. "sshd").
+// ValidateTarget runs only the named manifest entity (e.g. "sshd"). An
+// unknown target returns an error wrapping ErrUnknownTarget.
 func (v *Validator) ValidateTarget(e Entity, target string) (*Report, error) {
 	start := time.Now()
+	v.telemetry.ScanStarted()
+	defer v.telemetry.ScanEnded()
 	entry, ok := v.manifest.Entry(target)
 	if !ok {
-		err := fmt.Errorf("configvalidator: manifest has no entity %q", target)
+		err := fmt.Errorf("configvalidator: %w: %q", ErrUnknownTarget, target)
 		v.record(start, nil, err)
 		return nil, err
 	}
 	sub := &cvl.Manifest{Entries: []*cvl.ManifestEntry{entry}}
-	rep, err := v.engine.ValidateWithSource(e, sub, v.source)
+	rep, err := v.engine.ValidateWithSource(faults.Wrap(e, v.faults), sub, v.source)
 	v.record(start, rep, err)
 	return rep, err
 }
@@ -211,7 +253,7 @@ func (v *Validator) ValidateTarget(e Entity, target string) (*Report, error) {
 // ValidateRules applies an explicit rule list with explicit search paths —
 // no manifest, no composite rules.
 func (v *Validator) ValidateRules(e Entity, ruleList []*Rule, searchPaths []string) (*Report, error) {
-	return v.engine.ValidateRules(e, ruleList, searchPaths)
+	return v.engine.ValidateRules(faults.Wrap(e, v.faults), ruleList, searchPaths)
 }
 
 // Targets lists the built-in target names (Table 1).
