@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race lint fuzz ci bench
+.PHONY: build test vet race lint fuzz ci bench bench-check
 
 build:
 	$(GO) build ./...
@@ -33,3 +33,13 @@ ci: build lint race fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Benchmark regression gate: re-run the gated benchmarks and diff against
+# the committed baseline. Fails on a >15% ns/op regression of
+# BenchmarkTable2_ConfigValidator or any BenchmarkFleetScan*, or when a
+# warm fleet scan is less than 2x faster than its cold counterpart.
+BENCH_BASELINE ?= BENCH_parallel.json
+bench-check:
+	$(GO) test -run '^$$' -bench 'BenchmarkTable2_ConfigValidator$$|BenchmarkFleetScan' -benchtime 3s . > /tmp/bench-check.txt
+	$(GO) run ./cmd/benchreport -snapshot /tmp/bench-check.txt > /tmp/bench-check.json
+	$(GO) run ./cmd/benchreport -diff $(BENCH_BASELINE) /tmp/bench-check.json

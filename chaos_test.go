@@ -189,6 +189,108 @@ func TestChaosFleetGracefulDegradation(t *testing.T) {
 	}
 }
 
+// TestChaosFleetParallelEvaluation re-runs the fault-injected fleet drill
+// with intra-entity parallelism and a shared parse cache armed: injected
+// faults — including panics raised inside worker goroutines — must still
+// surface as degraded findings with exact reconciliation, never as
+// crashes, and untouched entities must match a fault-free serial baseline
+// byte for byte. Unlike the serial drill this one injects no walk fault:
+// with entries prepared concurrently, an entity-level abort would discard
+// sibling findings whose faults were already consumed, so only
+// read/parse/eval faults (which each surface in some report) keep the
+// accounting exact. Runs under -race in CI (scripts/ci.sh).
+func TestChaosFleetParallelEvaluation(t *testing.T) {
+	baselineV, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := make(map[string][]byte, chaosFleetSize)
+	for i := 0; i < chaosFleetSize; i++ {
+		ent := chaosEntity(i)
+		rep, err := baselineV.Validate(ent)
+		if err != nil {
+			t.Fatalf("baseline validate %s: %v", ent.Name(), err)
+		}
+		baseline[ent.Name()] = reportJSON(t, rep)
+	}
+
+	inj := faults.MustNew(
+		faults.Rule{Op: faults.OpRead, Path: "sshd_config", Every: 3, Times: 5, Kind: faults.KindError, Msg: "disk read failed"},
+		faults.Rule{Op: faults.OpParse, Path: "nginx.conf", Every: 4, Times: 4, Kind: faults.KindPanic},
+		faults.Rule{Op: faults.OpEval, Path: "sshd/", Every: 7, Times: 8, Kind: faults.KindError, Msg: "evaluator wedged"},
+		faults.Rule{Op: faults.OpEval, Path: "nginx/", Every: 5, Times: 6, Kind: faults.KindPanic},
+	)
+	chaosV, err := New(
+		WithFaults(inj),
+		WithParallelism(8),
+		WithParseCache(NewParseCache(0)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan Entity)
+	go func() {
+		defer close(ch)
+		for i := 0; i < chaosFleetSize; i++ {
+			ch <- chaosEntity(i)
+		}
+	}()
+	var results []FleetResult
+	for res := range chaosV.ValidateFleet(context.Background(), ch, FleetOptions{Workers: 4}) {
+		results = append(results, res)
+	}
+	if len(results) != chaosFleetSize {
+		t.Fatalf("fleet returned %d results, want %d", len(results), chaosFleetSize)
+	}
+
+	var degradedTotal int64
+	layers := map[string]int{"read": 0, "parse": 0, "eval": 0, "eval-panic": 0}
+	var compared int
+	for _, res := range results {
+		if res.Err != nil {
+			t.Fatalf("parallel chaos scan errored (faults must degrade, not abort): %v", res.Err)
+		}
+		degraded := res.Report.Degraded()
+		degradedTotal += int64(len(degraded))
+		for _, d := range degraded {
+			switch {
+			case strings.Contains(d.Message, "crawler: read"):
+				layers["read"]++
+			case strings.Contains(d.Message, "read/parse panicked"):
+				layers["parse"]++
+			case strings.Contains(d.Message, "evaluator wedged"):
+				layers["eval"]++
+			case strings.Contains(d.Message, "rule evaluation panicked"):
+				layers["eval-panic"]++
+			default:
+				t.Errorf("unattributed degraded finding: %q", d.Message)
+			}
+		}
+		if len(degraded) == 0 {
+			if got := reportJSON(t, res.Report); !bytes.Equal(got, baseline[res.Report.EntityName]) {
+				t.Errorf("non-faulted entity %s: parallel cached report differs from serial fault-free baseline", res.Report.EntityName)
+			}
+			compared++
+		}
+	}
+	for layer, n := range layers {
+		if n == 0 {
+			t.Errorf("no degraded findings surfaced from the %s layer", layer)
+		}
+	}
+	if compared == 0 {
+		t.Error("no clean entities left to compare against the baseline")
+	}
+	// Exact reconciliation: with no entity-level fault armed, every
+	// injection is exactly one degraded finding in exactly one report.
+	if got := inj.Injected(); got != degradedTotal {
+		t.Errorf("injected %d faults, surfaced %d degraded findings", got, degradedTotal)
+	}
+	if stats := chaosV.ParseCacheStats(); stats.Hits+stats.Misses == 0 {
+		t.Error("parse cache saw no traffic during the parallel chaos run")
+	}
+}
+
 // TestChaosTransientReadRetriesToClean shows the degradation and retry
 // policies composing: a transient *walk* fault aborts the first attempt
 // entity-level, the fleet retries, and the second attempt comes back

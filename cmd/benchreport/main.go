@@ -5,6 +5,13 @@
 //	benchreport -listing6    Listing 6: rule-encoding size comparison
 //	benchreport -fleet N     §5: fleet-scale image scanning throughput
 //	benchreport -all         everything
+//
+// It also gates benchmark regressions (see diff.go):
+//
+//	benchreport -snapshot bench.txt       convert `go test -bench` output
+//	                                      ("-" reads stdin) to bench JSON
+//	benchreport -diff base.json new.json  exit non-zero on >15% regression
+//	                                      or a warm-scan speedup below 2x
 package main
 
 import (
@@ -34,8 +41,44 @@ func main() {
 		fleet    = flag.Int("fleet", 0, "scan a fleet of N generated images and report throughput")
 		all      = flag.Bool("all", false, "produce every report")
 		iters    = flag.Int("iters", 50, "iterations per engine for -table2")
+		snapshot = flag.String("snapshot", "", "convert `go test -bench` text output (file, or '-' for stdin) to bench JSON on stdout")
+		diff     = flag.Bool("diff", false, "compare two bench JSON files (args: baseline new); exit 1 on regression")
 	)
 	flag.Parse()
+	if *snapshot != "" {
+		in := os.Stdin
+		if *snapshot != "-" {
+			f, err := os.Open(*snapshot)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchreport:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			in = f
+		}
+		if err := writeSnapshot(in, os.Stdout, "benchmark snapshot, see `make bench-check`"); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchreport: -diff needs exactly two arguments: baseline.json new.json")
+			os.Exit(2)
+		}
+		failed, err := diffBenchFiles(flag.Arg(0), flag.Arg(1), os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		if failed {
+			fmt.Fprintln(os.Stderr, "benchreport: benchmark gate FAILED")
+			os.Exit(1)
+		}
+		fmt.Println("benchmark gate passed")
+		return
+	}
 	if *all {
 		*table1, *table2, *listing6 = true, true, true
 		if *fleet == 0 {

@@ -57,6 +57,8 @@ func run(args []string) error {
 	validateTimeout := fs.Duration("validate-timeout", 0, "per-request validation timeout (0 = default)")
 	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive server-side failures that open the circuit breaker (0 = default)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "how long the breaker stays open before probing (0 = default)")
+	parallelism := fs.Int("parallelism", 0, "intra-entity evaluation parallelism (0 = GOMAXPROCS, 1 = serial)")
+	parseCacheSize := fs.Int("parse-cache", configvalidator.DefaultParseCacheSize, "content-addressed parse cache capacity in files (0 = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,16 +69,20 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	var validator *configvalidator.Validator
+	vopts := []configvalidator.Option{
+		configvalidator.WithTelemetry(configvalidator.NewCollector()),
+		configvalidator.WithParallelism(*parallelism),
+	}
+	if *parseCacheSize > 0 {
+		vopts = append(vopts, configvalidator.WithParseCache(configvalidator.NewParseCache(*parseCacheSize)))
+	}
 	if inj != nil {
 		fmt.Fprintf(os.Stderr, "cvserver: fault injection armed via %s\n", faultsEnvVar)
-		validator, err = configvalidator.New(
-			configvalidator.WithTelemetry(configvalidator.NewCollector()),
-			configvalidator.WithFaults(inj),
-		)
-		if err != nil {
-			return err
-		}
+		vopts = append(vopts, configvalidator.WithFaults(inj))
+	}
+	validator, err := configvalidator.New(vopts...)
+	if err != nil {
+		return err
 	}
 	s, err := server.New(validator)
 	if err != nil {

@@ -48,6 +48,8 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		interval    = fs.Duration("interval", time.Hour, "scan interval")
 		maxScans    = fs.Int("max-scans", 0, "stop after N scans (0 = run until interrupted)")
 		metricsAddr = fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
+		parallelism = fs.Int("parallelism", 0, "intra-entity evaluation parallelism (0 = GOMAXPROCS, 1 = serial)")
+		cacheSize   = fs.Int("parse-cache", configvalidator.DefaultParseCacheSize, "content-addressed parse cache capacity in files (0 = disabled); repeated scans of an unchanged entity skip re-parsing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,7 +61,13 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		return fmt.Errorf("interval must be positive")
 	}
 	collector := configvalidator.NewCollector()
-	vopts := []configvalidator.Option{configvalidator.WithTelemetry(collector)}
+	vopts := []configvalidator.Option{
+		configvalidator.WithTelemetry(collector),
+		configvalidator.WithParallelism(*parallelism),
+	}
+	if *cacheSize > 0 {
+		vopts = append(vopts, configvalidator.WithParseCache(configvalidator.NewParseCache(*cacheSize)))
+	}
 	if inj, err := configvalidator.FaultsFromEnv(); err != nil {
 		return err
 	} else if inj != nil {

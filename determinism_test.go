@@ -1,0 +1,181 @@
+package configvalidator
+
+// Differential determinism suite: the Rehearsal-style guarantee that
+// identical inputs produce byte-identical reports regardless of how the
+// work is scheduled. Every fixture entity is validated serial, at
+// Parallelism 2 and 8, and through a cold and then warm parse cache, and
+// all five runs must render the same text, JSON, and JUnit bytes. A
+// seeded shuffle of the manifest entries then shows that report ordering
+// is a function of the manifest, not of goroutine scheduling.
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"configvalidator/internal/cvl"
+	"configvalidator/internal/fixtures"
+	"configvalidator/internal/rules"
+)
+
+// determinismEntities builds a representative entity set: two generated
+// hosts (system- and application-flavored) and a small image fleet, all
+// with deliberate misconfigurations so reports carry real findings.
+func determinismEntities(t testing.TB) []Entity {
+	t.Helper()
+	u, _ := fixtures.UbuntuHost("det-ubuntu", fixtures.Profile{Seed: 11, MisconfigRate: 0.3})
+	s, _ := fixtures.SystemHost("det-system", fixtures.Profile{Seed: 23, MisconfigRate: 0.5})
+	ents := []Entity{u, s}
+	reg, _ := fixtures.Fleet(4, fixtures.Profile{Seed: 99, MisconfigRate: 0.3})
+	for _, ref := range reg.Images() {
+		img, err := reg.Pull(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ents = append(ents, img.Entity())
+	}
+	return ents
+}
+
+// renderAll renders a report in every supported output format.
+func renderAll(t testing.TB, rep *Report) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte, 3)
+	for name, write := range map[string]func(io.Writer, *Report, OutputOptions) error{
+		"text":  WriteText,
+		"json":  WriteJSON,
+		"junit": WriteJUnit,
+	} {
+		var buf bytes.Buffer
+		if err := write(&buf, rep, OutputOptions{}); err != nil {
+			t.Fatalf("render %s: %v", name, err)
+		}
+		out[name] = buf.Bytes()
+	}
+	return out
+}
+
+func TestDeterminismAcrossSchedules(t *testing.T) {
+	cachedV, err := New(WithParseCache(NewParseCache(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		opts []Option
+	}{
+		{"parallel2", []Option{WithParallelism(2)}},
+		{"parallel8", []Option{WithParallelism(8)}},
+	}
+
+	for _, ent := range determinismEntities(t) {
+		serialV, err := New(WithParallelism(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := serialV.Validate(ent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := renderAll(t, rep)
+
+		check := func(label string, v *Validator) {
+			t.Helper()
+			rep, err := v.Validate(ent)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", ent.Name(), label, err)
+			}
+			for format, wantBytes := range want {
+				if got := renderAll(t, rep)[format]; !bytes.Equal(got, wantBytes) {
+					t.Errorf("%s: %s %s report differs from serial baseline", ent.Name(), label, format)
+				}
+			}
+		}
+		for _, variant := range variants {
+			v, err := New(variant.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(variant.name, v)
+		}
+		// First pass through cachedV populates the cache for this entity
+		// (cold), the second is served from it (warm); both must match.
+		check("cache-cold", cachedV)
+		check("cache-warm", cachedV)
+	}
+
+	stats := cachedV.ParseCacheStats()
+	if stats.Hits == 0 {
+		t.Error("warm cache passes recorded no hits — the cached variant tested nothing")
+	}
+}
+
+// TestDeterminismManifestOrder validates one entity against a seeded
+// shuffle of the built-in manifest: the serial and parallel reports must
+// agree byte for byte, and the report's entity sequence must follow the
+// shuffled manifest order — ordering derives from the manifest, never
+// from which worker finished first.
+func TestDeterminismManifestOrder(t *testing.T) {
+	base, err := rules.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, _ := fixtures.UbuntuHost("det-shuffle", fixtures.Profile{Seed: 31, MisconfigRate: 0.4})
+
+	rng := rand.New(rand.NewSource(1509)) // arXiv 1509.05100, for luck
+	for iter := 0; iter < 3; iter++ {
+		shuffled := &cvl.Manifest{Entries: append([]*cvl.ManifestEntry(nil), base.Entries...)}
+		rng.Shuffle(len(shuffled.Entries), func(i, j int) {
+			shuffled.Entries[i], shuffled.Entries[j] = shuffled.Entries[j], shuffled.Entries[i]
+		})
+
+		serialV, err := New(WithManifest(shuffled, rules.Reader()), WithParallelism(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallelV, err := New(WithManifest(shuffled, rules.Reader()), WithParallelism(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialRep, err := serialV.Validate(host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallelRep, err := parallelV.Validate(host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantAll := renderAll(t, serialRep)
+		gotAll := renderAll(t, parallelRep)
+		for format, want := range wantAll {
+			if !bytes.Equal(gotAll[format], want) {
+				t.Errorf("iter %d: parallel %s report differs from serial on shuffled manifest", iter, format)
+			}
+		}
+
+		// The sequence of manifest entities in the report must be the
+		// shuffled entry order with consecutive repeats collapsed.
+		var gotOrder []string
+		for _, res := range parallelRep.Results {
+			if len(gotOrder) == 0 || gotOrder[len(gotOrder)-1] != res.ManifestEntity {
+				gotOrder = append(gotOrder, res.ManifestEntity)
+			}
+		}
+		wantOrder := make(map[string]int)
+		for i, e := range shuffled.EnabledEntries() {
+			wantOrder[e.Name] = i
+		}
+		last := -1
+		for _, name := range gotOrder {
+			idx, ok := wantOrder[name]
+			if !ok {
+				t.Fatalf("iter %d: report names unknown manifest entity %q", iter, name)
+			}
+			if idx <= last {
+				t.Errorf("iter %d: entity %q out of shuffled-manifest order", iter, name)
+			}
+			last = idx
+		}
+	}
+}

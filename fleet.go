@@ -88,6 +88,13 @@ func nextBackoff(base, prev time.Duration) time.Duration {
 // bounded by opts.ScanTimeout, and transient failures are retried per
 // opts.Retries. With a telemetry collector attached (WithTelemetry), every
 // outcome — including panics, timeouts, and retries — is recorded.
+//
+// A parse cache attached with WithParseCache is shared by all workers:
+// identical config files across the fleet parse once, which is where most
+// of the scan time goes when images share base layers. WithParallelism
+// additionally fans rule evaluation out within each entity; the two
+// compose (workers × intra-entity pool), so on a fully loaded machine
+// prefer raising Workers first and leave Parallelism at 1.
 func (v *Validator) ValidateFleet(ctx context.Context, entities <-chan Entity, opts FleetOptions) <-chan FleetResult {
 	workers := opts.Workers
 	if workers <= 0 {

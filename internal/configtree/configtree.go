@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Node is one element of a configuration tree.
@@ -87,7 +88,7 @@ func (n *Node) Child(label string) (*Node, bool) {
 // Find returns every node matching the path expression, in document order.
 // An empty path matches the receiver itself.
 func (n *Node) Find(path string) []*Node {
-	segs := splitPath(path)
+	segs := compilePath(path)
 	if len(segs) == 0 {
 		return []*Node{n}
 	}
@@ -102,6 +103,10 @@ func (n *Node) Find(path string) []*Node {
 					}
 				})
 			}
+			// Overlapping "**" roots can reach the same descendant
+			// through more than one ancestor; plain child expansion
+			// cannot duplicate (every node has one parent).
+			next = dedup(next)
 		} else {
 			for _, c := range current {
 				next = append(next, c.matchChildren(seg)...)
@@ -110,7 +115,7 @@ func (n *Node) Find(path string) []*Node {
 		if len(next) == 0 {
 			return nil
 		}
-		current = dedup(next)
+		current = next
 	}
 	return current
 }
@@ -276,6 +281,36 @@ type segment struct {
 	label   string // label pattern, may contain * wildcards
 	index   int    // 1-based index among matching siblings; 0 = all
 	descend bool   // true for "**": match at any depth
+}
+
+// compiledQueries memoizes parsed path expressions. Queries come from CVL
+// rule files — a small, library-bounded set reused across every file of
+// every entity in a fleet scan — so parsing each expression once removes a
+// per-Find allocation from the engine's hottest loop. The cache is
+// size-capped as a safety valve against pathological dynamic queries.
+var (
+	queryMu         sync.RWMutex
+	compiledQueries = make(map[string][]segment)
+)
+
+const maxCompiledQueries = 4096
+
+// compilePath returns the parsed form of a path expression, memoized.
+// Returned segments are shared and must not be mutated.
+func compilePath(path string) []segment {
+	queryMu.RLock()
+	segs, ok := compiledQueries[path]
+	queryMu.RUnlock()
+	if ok {
+		return segs
+	}
+	segs = splitPath(path)
+	queryMu.Lock()
+	if len(compiledQueries) < maxCompiledQueries {
+		compiledQueries[path] = segs
+	}
+	queryMu.Unlock()
+	return segs
 }
 
 func splitPath(path string) []segment {

@@ -6,6 +6,7 @@
 package crawler
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"sort"
@@ -40,6 +41,11 @@ type Options struct {
 	// Faults arms fault injection on lens parsing (faults.OpParse). Nil —
 	// the production default — is inert and costs one nil check.
 	Faults *faults.Injector
+	// Cache is an optional content-addressed parse cache shared across
+	// every entity crawled through this crawler: identical file content
+	// (by lens, path, and SHA-256) parses once fleet-wide. Nil disables
+	// caching.
+	Cache *ParseCache
 }
 
 // Crawler extracts configuration from entities using a lens registry.
@@ -131,8 +137,25 @@ func (c *Crawler) readAndParse(e entity.Entity, fi entity.FileInfo, l lens.Lens,
 		fc.Err = fmt.Errorf("crawler: read %s: %w", fi.Path, err)
 		return
 	}
+	// Fault injection is consulted before the cache so chaos drills hit
+	// the same injection points whether or not a scan runs cache-warm.
 	if err := c.opts.Faults.Check(faults.OpParse, fi.Path); err != nil {
 		fc.Err = fmt.Errorf("crawler: parse %s: %w", fi.Path, err)
+		return
+	}
+	if c.opts.Cache != nil {
+		sum := sha256.Sum256(content)
+		if res, ok := c.opts.Cache.get(l.Name(), fi.Path, sum); ok {
+			fc.Result = res
+			return
+		}
+		res, err := l.Parse(fi.Path, content)
+		if err != nil {
+			fc.Err = err
+			return
+		}
+		c.opts.Cache.put(l.Name(), fi.Path, sum, res)
+		fc.Result = res
 		return
 	}
 	res, err := l.Parse(fi.Path, content)

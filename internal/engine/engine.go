@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"path"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"configvalidator/internal/configtree"
 	"configvalidator/internal/crawler"
@@ -17,20 +19,64 @@ import (
 	"configvalidator/internal/schema"
 )
 
+// Options tune engine execution.
+type Options struct {
+	// Parallelism bounds the worker pool used inside one entity
+	// validation: manifest entries resolve and crawl concurrently, and
+	// independent non-composite rules evaluate concurrently. 0 (the
+	// default) uses runtime.GOMAXPROCS(0); 1 runs the serial path with
+	// no pool at all. Reports are identical at every setting — results
+	// are gathered into manifest order and composite rules still
+	// evaluate last, serially — only wall-clock time changes.
+	//
+	// Entities validated with Parallelism > 1 must tolerate concurrent
+	// reads (every built-in entity backend does: they are immutable
+	// snapshots or read-only filesystem views).
+	Parallelism int
+
+	// EvalCacheSize bounds the verdict memo for tree and schema rules,
+	// which are pure functions of (rule, parsed configs): when a shared
+	// crawler.ParseCache makes two entities' configs the same Results,
+	// the verdict is reused instead of re-evaluated (see evalcache.go).
+	// 0 (the default) disables memoization — the correct setting
+	// whenever no parse cache is attached; < 0 enables it with
+	// DefaultEvalCacheSize.
+	EvalCacheSize int
+}
+
 // Engine applies CVL rules to entities.
 type Engine struct {
 	crawler *crawler.Crawler
 	match   *matcher
 	faults  *faults.Injector
+	opts    Options
+	memo    *evalMemo
 }
 
 // New creates an engine. A nil crawler gets default options and the default
 // lens registry.
 func New(c *crawler.Crawler) *Engine {
+	return NewWithOptions(c, Options{})
+}
+
+// NewWithOptions creates an engine with explicit execution options.
+func NewWithOptions(c *crawler.Crawler, opts Options) *Engine {
 	if c == nil {
 		c = crawler.New(nil, crawler.Options{})
 	}
-	return &Engine{crawler: c, match: newMatcher()}
+	return &Engine{crawler: c, match: newMatcher(), opts: opts, memo: newEvalMemo(opts.EvalCacheSize)}
+}
+
+// parallelism resolves Options.Parallelism to an effective worker count.
+func (e *Engine) parallelism() int {
+	p := e.opts.Parallelism
+	if p == 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
 }
 
 // SetFaults arms fault injection on rule evaluation (faults.OpEval, keyed
@@ -43,6 +89,9 @@ type entityRun struct {
 	rules   []*cvl.Rule
 	configs []*crawler.FileConfig
 	results []*Result
+	// verdicts is the memo table for this run's config signature; nil
+	// when the memo is disabled.
+	verdicts *sigVerdicts
 }
 
 // RuleSource resolves a rule-file path to its effective rules (inheritance
@@ -78,22 +127,34 @@ func NewCachedSource(read cvl.FileReader) *CachedSource {
 	return &CachedSource{read: read, byFile: make(map[string][]*cvl.Rule)}
 }
 
-// Resolve implements RuleSource.
+// Resolve implements RuleSource. The returned slice is a fresh copy on
+// every call: callers routinely append to or re-slice rule lists (tag and
+// entity-type filtering), and handing out the cached backing array would
+// let one caller's append clobber another's view of the shared library.
+// The *cvl.Rule pointees stay shared and must be treated as immutable.
 func (s *CachedSource) Resolve(path string) ([]*cvl.Rule, error) {
 	s.mu.Lock()
 	cached, ok := s.byFile[path]
 	s.mu.Unlock()
-	if ok {
-		return cached, nil
+	if !ok {
+		rules, err := cvl.ResolveRules(s.read, path)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		if incumbent, raced := s.byFile[path]; raced {
+			// Lost a race with a concurrent resolve; keep the incumbent
+			// so every caller copies from one canonical slice.
+			cached = incumbent
+		} else {
+			s.byFile[path] = rules
+			cached = rules
+		}
+		s.mu.Unlock()
 	}
-	rules, err := cvl.ResolveRules(s.read, path)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.byFile[path] = rules
-	s.mu.Unlock()
-	return rules, nil
+	out := make([]*cvl.Rule, len(cached))
+	copy(out, cached)
+	return out, nil
 }
 
 // Validate runs every enabled manifest entry against the entity and returns
@@ -105,7 +166,18 @@ func (e *Engine) Validate(ent entity.Entity, manifest *cvl.Manifest, read cvl.Fi
 
 // ValidateWithSource is Validate with a caller-controlled rule source
 // (typically a CachedSource shared across a fleet scan).
+//
+// With Options.Parallelism > 1 the manifest entries are prepared (rule
+// resolution + crawl) and their non-composite rules evaluated on a bounded
+// worker pool; every result lands in a slot fixed by its manifest position,
+// so the assembled report is identical to a serial run regardless of
+// scheduling. Composite rules always run last, serially, in manifest order.
 func (e *Engine) ValidateWithSource(ent entity.Entity, manifest *cvl.Manifest, src RuleSource) (*Report, error) {
+	entries := manifest.EnabledEntries()
+	if par := e.parallelism(); par > 1 && len(entries) > 0 {
+		return e.validateParallel(ent, entries, src, par)
+	}
+
 	report := &Report{EntityName: ent.Name(), EntityType: ent.Type().String()}
 	runs := make(map[string]*entityRun)
 	var order []string
@@ -115,41 +187,20 @@ func (e *Engine) ValidateWithSource(ent entity.Entity, manifest *cvl.Manifest, s
 	}
 	var composites []deferredComposite
 
-	for _, entry := range manifest.EnabledEntries() {
-		rules, err := src.Resolve(entry.CVLFile)
+	for _, entry := range entries {
+		run, err := e.prepareRun(ent, entry, src)
 		if err != nil {
 			return nil, fmt.Errorf("engine: entity %s: %w", entry.Name, err)
 		}
-		rules = cvl.FilterByTags(rules, entry.Tags)
-		rules = cvl.FilterByEntityType(rules, ent.Type().String())
-		configs, err := e.crawler.CrawlPaths(ent, entry.ConfigSearchPaths)
-		if err != nil {
-			return nil, fmt.Errorf("engine: entity %s: %w", entry.Name, err)
-		}
-		run := &entityRun{entry: entry, rules: rules, configs: configs}
 		runs[entry.Name] = run
 		order = append(order, entry.Name)
 
-		// Surface unreadable or unparseable configuration as degraded
-		// results: the scan continues, but these files' checks cannot be
-		// trusted on this pass.
-		for _, fc := range configs {
-			if fc.Err != nil {
-				run.results = append(run.results, &Result{
-					EntityName:     ent.Name(),
-					ManifestEntity: entry.Name,
-					Status:         StatusDegraded,
-					Message:        fc.Err.Error(),
-					File:           fc.Path,
-				})
-			}
-		}
-		for _, rule := range rules {
+		for _, rule := range run.rules {
 			if rule.Type == cvl.TypeComposite {
 				composites = append(composites, deferredComposite{entry: entry, rule: rule})
 				continue
 			}
-			res := e.safeEvalRule(ent, entry, rule, configs)
+			res := e.safeEvalRule(ent, entry, rule, run.configs, run.verdicts)
 			run.results = append(run.results, res)
 		}
 	}
@@ -164,6 +215,162 @@ func (e *Engine) ValidateWithSource(ent entity.Entity, manifest *cvl.Manifest, s
 		report.Results = append(report.Results, runs[name].results...)
 	}
 	return report, nil
+}
+
+// prepareRun resolves, filters, and crawls one manifest entry, seeding the
+// run's results with degraded findings for configuration files that could
+// not be read or parsed: the scan continues, but those files' checks
+// cannot be trusted on this pass.
+func (e *Engine) prepareRun(ent entity.Entity, entry *cvl.ManifestEntry, src RuleSource) (*entityRun, error) {
+	rules, err := src.Resolve(entry.CVLFile)
+	if err != nil {
+		return nil, err
+	}
+	rules = cvl.FilterByTags(rules, entry.Tags)
+	rules = cvl.FilterByEntityType(rules, ent.Type().String())
+	configs, err := e.crawler.CrawlPaths(ent, entry.ConfigSearchPaths)
+	if err != nil {
+		return nil, err
+	}
+	run := &entityRun{entry: entry, rules: rules, configs: configs}
+	if e.memo != nil {
+		run.verdicts = e.memo.forSig(configSig(configs))
+	}
+	for _, fc := range configs {
+		if fc.Err != nil {
+			run.results = append(run.results, &Result{
+				EntityName:     ent.Name(),
+				ManifestEntity: entry.Name,
+				Status:         StatusDegraded,
+				Message:        fc.Err.Error(),
+				File:           fc.Path,
+			})
+		}
+	}
+	return run, nil
+}
+
+// validateParallel is the Parallelism > 1 execution of ValidateWithSource.
+func (e *Engine) validateParallel(ent entity.Entity, entries []*cvl.ManifestEntry, src RuleSource, par int) (*Report, error) {
+	report := &Report{EntityName: ent.Name(), EntityType: ent.Type().String()}
+	runs := make([]*entityRun, len(entries))
+	errs := make([]error, len(entries))
+
+	// Phase 1: resolve rules and crawl configuration for every entry
+	// concurrently. Each worker writes only its own slot.
+	if pv := runParallel(par, len(entries), func(i int) {
+		runs[i], errs[i] = e.prepareRun(ent, entries[i], src)
+	}); pv != nil {
+		panic(pv)
+	}
+	for i, err := range errs {
+		// Earliest-entry error wins, matching the serial abort order.
+		if err != nil {
+			return nil, fmt.Errorf("engine: entity %s: %w", entries[i].Name, err)
+		}
+	}
+
+	// Phase 2: evaluate independent non-composite rules concurrently.
+	// Each run's result slice is pre-sized so every rule writes the slot
+	// its manifest position dictates — the gather is order-free.
+	type evalTask struct {
+		run  *entityRun
+		slot int
+		rule *cvl.Rule
+	}
+	type compositeRef struct {
+		run  *entityRun
+		rule *cvl.Rule
+	}
+	var tasks []evalTask
+	var composites []compositeRef
+	for _, run := range runs {
+		nonComposite := 0
+		for _, rule := range run.rules {
+			if rule.Type != cvl.TypeComposite {
+				nonComposite++
+			}
+		}
+		slot := len(run.results)
+		run.results = append(run.results, make([]*Result, nonComposite)...)
+		for _, rule := range run.rules {
+			if rule.Type == cvl.TypeComposite {
+				composites = append(composites, compositeRef{run: run, rule: rule})
+				continue
+			}
+			tasks = append(tasks, evalTask{run: run, slot: slot, rule: rule})
+			slot++
+		}
+	}
+	if pv := runParallel(par, len(tasks), func(i int) {
+		t := tasks[i]
+		t.run.results[t.slot] = e.safeEvalRule(ent, t.run.entry, t.rule, t.run.configs, t.run.verdicts)
+	}); pv != nil {
+		panic(pv)
+	}
+
+	// Phase 3: composites last, serially, in manifest order — matching
+	// the serial path, and letting a later composite observe an earlier
+	// composite's outcome exactly as it would serially.
+	byName := make(map[string]*entityRun, len(runs))
+	for _, run := range runs {
+		byName[run.entry.Name] = run
+	}
+	resolver := &runResolver{runs: byName}
+	for _, c := range composites {
+		c.run.results = append(c.run.results, e.safeEvalComposite(ent, c.run.entry, c.rule, resolver))
+	}
+
+	for _, run := range runs {
+		report.Results = append(report.Results, run.results...)
+	}
+	return report, nil
+}
+
+// runParallel executes task(0..n-1) on min(par, n) workers pulling indices
+// from a shared counter. A panicking task is recovered and remembered; the
+// pool drains fully and the panic value of the lowest task index is
+// returned for the caller to re-panic, so panic propagation is
+// deterministic and never leaks a goroutine mid-flight.
+func runParallel(par, n int, task func(i int)) (panicVal any) {
+	if n == 0 {
+		return nil
+	}
+	if par > n {
+		par = n
+	}
+	var (
+		next     int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		panicIdx = -1
+	)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if panicIdx < 0 || i < panicIdx {
+								panicIdx, panicVal = i, r
+							}
+							mu.Unlock()
+						}
+					}()
+					task(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	return panicVal
 }
 
 // ValidateRules applies a flat rule list to an entity using the given
@@ -187,12 +394,16 @@ func (e *Engine) ValidateRules(ent entity.Entity, rules []*cvl.Rule, searchPaths
 			})
 		}
 	}
+	var verdicts *sigVerdicts
+	if e.memo != nil {
+		verdicts = e.memo.forSig(configSig(configs))
+	}
 	for _, rule := range cvl.FilterByEntityType(rules, ent.Type().String()) {
 		if rule.Type == cvl.TypeComposite {
 			report.Results = append(report.Results, e.errorResult(ent, entry, rule, errors.New("composite rules require a manifest context")))
 			continue
 		}
-		report.Results = append(report.Results, e.safeEvalRule(ent, entry, rule, configs))
+		report.Results = append(report.Results, e.safeEvalRule(ent, entry, rule, configs, verdicts))
 	}
 	return report, nil
 }
@@ -200,14 +411,37 @@ func (e *Engine) ValidateRules(ent entity.Entity, rules []*cvl.Rule, searchPaths
 // safeEvalRule evaluates one rule with per-rule fault injection and panic
 // isolation: a panicking matcher, lens structure, or injected eval fault
 // degrades that single rule's result instead of aborting the entity scan.
-func (e *Engine) safeEvalRule(ent entity.Entity, entry *cvl.ManifestEntry, rule *cvl.Rule, configs []*crawler.FileConfig) (res *Result) {
+//
+// verdicts is the memo table for the run's config signature (nil disables
+// verdict memoization for this call). Fault injection is checked before the
+// memo lookup so a chaos schedule consumes injections identically on warm
+// and cold caches, and a degraded or panicked outcome is never stored.
+func (e *Engine) safeEvalRule(ent entity.Entity, entry *cvl.ManifestEntry, rule *cvl.Rule, configs []*crawler.FileConfig, verdicts *sigVerdicts) (res *Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = e.degradedResult(ent, entry, rule, fmt.Errorf("rule evaluation panicked: %v", r))
 		}
 	}()
-	if err := e.faults.Check(faults.OpEval, entry.Name+"/"+rule.Name); err != nil {
-		return e.degradedResult(ent, entry, rule, err)
+	if e.faults != nil {
+		if err := e.faults.Check(faults.OpEval, entry.Name+"/"+rule.Name); err != nil {
+			return e.degradedResult(ent, entry, rule, err)
+		}
+	}
+	if verdicts != nil && memoizable(rule) {
+		if v, ok := verdicts.get(rule); ok {
+			return &Result{
+				EntityName:     ent.Name(),
+				ManifestEntity: entry.Name,
+				Rule:           rule,
+				Status:         v.status,
+				Message:        v.message,
+				Detail:         v.detail,
+				File:           v.file,
+			}
+		}
+		res := e.evalRule(ent, entry, rule, configs)
+		verdicts.put(rule, verdict{status: res.Status, message: res.Message, detail: res.Detail, file: res.File})
+		return res
 	}
 	return e.evalRule(ent, entry, rule, configs)
 }
@@ -219,8 +453,10 @@ func (e *Engine) safeEvalComposite(ent entity.Entity, entry *cvl.ManifestEntry, 
 			res = e.degradedResult(ent, entry, rule, fmt.Errorf("composite evaluation panicked: %v", r))
 		}
 	}()
-	if err := e.faults.Check(faults.OpEval, entry.Name+"/"+rule.Name); err != nil {
-		return e.degradedResult(ent, entry, rule, err)
+	if e.faults != nil {
+		if err := e.faults.Check(faults.OpEval, entry.Name+"/"+rule.Name); err != nil {
+			return e.degradedResult(ent, entry, rule, err)
+		}
 	}
 	return e.evalComposite(ent, entry, rule, resolver)
 }
@@ -262,15 +498,18 @@ func (e *Engine) evalTree(ent entity.Entity, entry *cvl.ManifestEntry, rule *cvl
 	if len(paths) == 0 {
 		paths = []string{""}
 	}
+	queries := make([]string, len(paths))
+	for i, p := range paths {
+		queries[i] = joinTreePath(p, rule.Name)
+	}
 	type hit struct {
 		node *configtree.Node
 		file string
 	}
 	var hits []hit
 	for _, fc := range candidates {
-		for _, p := range paths {
-			query := joinTreePath(p, rule.Name)
-			for _, n := range fc.Result.Tree.Find(query) {
+		for _, q := range queries {
+			for _, n := range fc.Result.FindTree(q) {
 				hits = append(hits, hit{node: n, file: fc.Path})
 			}
 		}
@@ -381,8 +620,9 @@ func matchesFileContext(filePath string, contexts []string) bool {
 }
 
 func anyTreeHasKey(configs []*crawler.FileConfig, key string) bool {
+	query := "**/" + key
 	for _, fc := range configs {
-		if len(fc.Result.Tree.Find("**/"+key)) > 0 {
+		if len(fc.Result.FindTree(query)) > 0 {
 			return true
 		}
 		if _, ok := fc.Result.Tree.Child(key); ok {
@@ -554,6 +794,31 @@ func (e *Engine) evalScript(ent entity.Entity, entry *cvl.ManifestEntry, rule *c
 		}
 		return e.errorResult(ent, entry, rule, err)
 	}
+	// The verdict on a feature output is entity-independent — memoize it
+	// so fleets whose entities answer a feature identically judge that
+	// answer once.
+	if e.memo != nil {
+		sv := e.memo.forSig(scriptSig(output))
+		if v, ok := sv.get(rule); ok {
+			return &Result{
+				EntityName:     ent.Name(),
+				ManifestEntity: entry.Name,
+				Rule:           rule,
+				Status:         v.status,
+				Message:        v.message,
+				Detail:         v.detail,
+				File:           v.file,
+			}
+		}
+		res := e.evalScriptOutput(ent, entry, rule, output)
+		sv.put(rule, verdict{status: res.Status, message: res.Message, detail: res.Detail, file: res.File})
+		return res
+	}
+	return e.evalScriptOutput(ent, entry, rule, output)
+}
+
+// evalScriptOutput judges one feature output against the rule's matchers.
+func (e *Engine) evalScriptOutput(ent entity.Entity, entry *cvl.ManifestEntry, rule *cvl.Rule, output string) *Result {
 	ok, detail, err := e.match.checkValue(rule, output)
 	if err != nil {
 		return e.errorResult(ent, entry, rule, err)
@@ -600,7 +865,7 @@ func (r *runResolver) RuleResult(entityName, ruleName string) (bool, bool) {
 	}
 	want := strings.ReplaceAll(ruleName, "/", ".")
 	for _, res := range run.results {
-		if res.Rule != nil && strings.ReplaceAll(res.Rule.Name, "/", ".") == want {
+		if res != nil && res.Rule != nil && strings.ReplaceAll(res.Rule.Name, "/", ".") == want {
 			return res.Status == StatusPass, true
 		}
 	}
@@ -627,8 +892,8 @@ func (r *runResolver) ConfigValue(entityName, key, section string) (string, bool
 			continue
 		}
 		for _, q := range queries {
-			if v, ok := fc.Result.Tree.ValueAt(q); ok {
-				return v, true
+			if nodes := fc.Result.FindTree(q); len(nodes) > 0 {
+				return nodes[0].Value, true
 			}
 		}
 	}

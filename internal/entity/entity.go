@@ -12,6 +12,7 @@ import (
 	"io/fs"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"configvalidator/internal/pkgdb"
@@ -71,6 +72,25 @@ var ErrNotExist = errors.New("entity: path does not exist")
 // ErrNoFeature reports a runtime feature the entity cannot provide.
 var ErrNoFeature = errors.New("entity: runtime feature not available")
 
+// wrapErr is fmt.Errorf("%w: %s", sentinel, detail) without the format
+// machinery: "no such path" is the most common answer a fleet scan gets
+// (most entries' search paths are absent on most images), so constructing
+// it must be cheap.
+type wrapErr struct {
+	sentinel error
+	detail   string
+}
+
+func (e *wrapErr) Error() string { return e.sentinel.Error() + ": " + e.detail }
+func (e *wrapErr) Unwrap() error { return e.sentinel }
+
+// NotExist returns ErrNotExist annotated with the path; the message
+// matches what wrapping with fmt.Errorf("%w: %s", ...) would produce.
+func NotExist(path string) error { return &wrapErr{sentinel: ErrNotExist, detail: path} }
+
+// NoFeature returns ErrNoFeature annotated with the feature name.
+func NoFeature(name string) error { return &wrapErr{sentinel: ErrNoFeature, detail: name} }
+
 // FileInfo is the metadata rule engine path rules assert on (§2.1.2).
 type FileInfo struct {
 	// Path is the absolute path inside the entity.
@@ -126,6 +146,13 @@ type Mem struct {
 	dirs     map[string]memDir
 	packages []pkgdb.Package
 	features map[string]string
+
+	// sorted caches the lexically ordered union of file and directory
+	// paths for Walk, rebuilt lazily after a mutation. Concurrent readers
+	// may race to build it; they compute identical slices, so last-write-
+	// wins is benign. Mutation is not safe concurrently with reads, which
+	// is already the Mem contract.
+	sorted atomic.Pointer[[]string]
 }
 
 type memFile struct {
@@ -183,6 +210,7 @@ func (m *Mem) AddFile(path string, data []byte, opts ...FileOption) {
 	}
 	m.files[path] = f
 	m.ensureParents(path)
+	m.sorted.Store(nil)
 }
 
 // AddDir creates a directory (and parents). Default mode 0755 root:root.
@@ -194,11 +222,13 @@ func (m *Mem) AddDir(path string, opts ...FileOption) {
 	}
 	m.dirs[path] = memDir{mode: fs.ModeDir | f.mode.Perm(), uid: f.uid, gid: f.gid}
 	m.ensureParents(path)
+	m.sorted.Store(nil)
 }
 
 // RemoveFile deletes a file if present.
 func (m *Mem) RemoveFile(path string) {
 	delete(m.files, Clean(path))
+	m.sorted.Store(nil)
 }
 
 // SetPackages replaces the package list.
@@ -226,7 +256,7 @@ func (m *Mem) Type() Type { return m.typ }
 func (m *Mem) ReadFile(path string) ([]byte, error) {
 	f, ok := m.files[Clean(path)]
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+		return nil, NotExist(path)
 	}
 	out := make([]byte, len(f.data))
 	copy(out, f.data)
@@ -249,7 +279,7 @@ func (m *Mem) Stat(path string) (FileInfo, error) {
 	if d, ok := m.dirs[path]; ok {
 		return FileInfo{Path: path, Mode: d.mode, UID: d.uid, GID: d.gid}, nil
 	}
-	return FileInfo{}, fmt.Errorf("%w: %s", ErrNotExist, path)
+	return FileInfo{}, NotExist(path)
 }
 
 // Walk implements Entity. Directories under root are visited too (their
@@ -262,21 +292,24 @@ func (m *Mem) Walk(root string, fn func(FileInfo) error) error {
 		if fi, err := m.Stat(root); err == nil {
 			return fn(fi)
 		}
-		return fmt.Errorf("%w: %s", ErrNotExist, root)
+		return NotExist(root)
 	}
-	paths := make([]string, 0, len(m.files)+len(m.dirs))
-	for p := range m.files {
-		if underDir(p, root) {
-			paths = append(paths, p)
+	// Everything under root is a contiguous run of the sorted path list
+	// (prefix root+"/"), so one binary search finds the start and the
+	// scan stops at the first non-descendant — no per-walk filter over
+	// the whole namespace, no per-walk sort.
+	paths := m.sortedPaths()
+	prefix := root + "/"
+	start := 0
+	if root != "/" {
+		start = sort.SearchStrings(paths, prefix)
+	} else {
+		prefix = "/"
+	}
+	for _, p := range paths[start:] {
+		if !strings.HasPrefix(p, prefix) {
+			break
 		}
-	}
-	for p := range m.dirs {
-		if p != "/" && underDir(p, root) {
-			paths = append(paths, p)
-		}
-	}
-	sort.Strings(paths)
-	for _, p := range paths {
 		fi, err := m.Stat(p)
 		if err != nil {
 			return err
@@ -288,6 +321,27 @@ func (m *Mem) Walk(root string, fn func(FileInfo) error) error {
 	return nil
 }
 
+// sortedPaths returns the cached lexical ordering of all file and
+// directory paths (the root directory excluded), rebuilding it after a
+// mutation.
+func (m *Mem) sortedPaths() []string {
+	if p := m.sorted.Load(); p != nil {
+		return *p
+	}
+	paths := make([]string, 0, len(m.files)+len(m.dirs))
+	for p := range m.files {
+		paths = append(paths, p)
+	}
+	for p := range m.dirs {
+		if p != "/" {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	m.sorted.Store(&paths)
+	return paths
+}
+
 // Packages implements Entity.
 func (m *Mem) Packages() (*pkgdb.DB, error) {
 	return pkgdb.New(m.packages), nil
@@ -297,7 +351,7 @@ func (m *Mem) Packages() (*pkgdb.DB, error) {
 func (m *Mem) RunFeature(name string) (string, error) {
 	out, ok := m.features[name]
 	if !ok {
-		return "", fmt.Errorf("%w: %s", ErrNoFeature, name)
+		return "", NoFeature(name)
 	}
 	return out, nil
 }
@@ -348,6 +402,9 @@ func (m *Mem) ensureParents(path string) {
 // Clean normalizes an entity path: forward slashes, leading '/', no
 // trailing slash, no '.' or empty segments, ".." resolved.
 func Clean(path string) string {
+	if isClean(path) {
+		return path
+	}
 	segs := strings.Split(path, "/")
 	out := make([]string, 0, len(segs))
 	for _, s := range segs {
@@ -364,9 +421,33 @@ func Clean(path string) string {
 	return "/" + strings.Join(out, "/")
 }
 
-func underDir(path, dir string) bool {
-	if dir == "/" {
+// isClean reports whether path is already in Clean's canonical form (a
+// rooted path with no empty, ".", or ".." segments and no trailing slash),
+// letting the overwhelmingly common case — paths that were cleaned at
+// insertion — skip the split/join allocation on every lookup.
+func isClean(path string) bool {
+	if path == "/" {
 		return true
 	}
-	return strings.HasPrefix(path, dir+"/")
+	if path == "" || path[0] != '/' || path[len(path)-1] == '/' {
+		return false
+	}
+	for i := 0; i < len(path); i++ {
+		if path[i] != '/' {
+			continue
+		}
+		j := i + 1
+		if path[j] == '/' {
+			return false
+		}
+		if path[j] == '.' {
+			if j+1 == len(path) || path[j+1] == '/' {
+				return false
+			}
+			if path[j+1] == '.' && (j+2 == len(path) || path[j+2] == '/') {
+				return false
+			}
+		}
+	}
+	return true
 }

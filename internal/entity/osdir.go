@@ -50,7 +50,7 @@ func (o *OSDir) hostPath(path string) string {
 func (o *OSDir) ReadFile(path string) ([]byte, error) {
 	data, err := os.ReadFile(o.hostPath(path))
 	if errors.Is(err, fs.ErrNotExist) {
-		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+		return nil, NotExist(path)
 	}
 	return data, err
 }
@@ -60,7 +60,7 @@ func (o *OSDir) Stat(path string) (FileInfo, error) {
 	fi, err := os.Stat(o.hostPath(path))
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
-			return FileInfo{}, fmt.Errorf("%w: %s", ErrNotExist, path)
+			return FileInfo{}, NotExist(path)
 		}
 		return FileInfo{}, err
 	}
@@ -88,7 +88,7 @@ func (o *OSDir) Walk(root string, fn func(FileInfo) error) error {
 	err := filepath.WalkDir(base, func(p string, d fs.DirEntry, err error) error {
 		if err != nil {
 			if errors.Is(err, fs.ErrNotExist) && p == base {
-				return fmt.Errorf("%w: %s", ErrNotExist, root)
+				return NotExist(root)
 			}
 			return err
 		}
@@ -137,7 +137,7 @@ func (o *OSDir) Packages() (*pkgdb.DB, error) {
 func (o *OSDir) RunFeature(name string) (string, error) {
 	out, ok := o.features[name]
 	if !ok {
-		return "", fmt.Errorf("%w: %s", ErrNoFeature, name)
+		return "", NoFeature(name)
 	}
 	return out, nil
 }

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"path"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"configvalidator/internal/configtree"
 	"configvalidator/internal/schema"
@@ -42,10 +44,67 @@ func (k Kind) String() string {
 
 // Result is the normalized form of one configuration file. Exactly one of
 // Tree or Table is set, according to Kind.
+//
+// A Result handed to the rule engine is treated as immutable: the engine
+// only queries it, and a fleet-scoped ParseCache may share one Result
+// across many entities and concurrent scans. Code that needs to edit a
+// parsed tree (remediation) must parse its own copy or Clone it first.
 type Result struct {
 	Kind  Kind
 	Tree  *configtree.Node
 	Table *schema.Table
+
+	// findMu guards findMemo, the per-result tree-query memo. Identical
+	// files across a fleet share one cached Result, so each distinct rule
+	// query is answered against a given file content exactly once
+	// fleet-wide instead of once per entity.
+	findMu   sync.RWMutex
+	findMemo map[string][]*configtree.Node
+
+	// uid is the lazily assigned process-unique identity, see UID.
+	uid atomic.Uint64
+}
+
+// resultUID is the source of Result identities; 0 is reserved for
+// "unassigned".
+var resultUID atomic.Uint64
+
+// UID returns a process-unique identity for this result, assigned on first
+// use. Memoization layers key on it instead of the pointer value: unlike an
+// address, a UID is never reused after the result is garbage collected, so
+// a stale memo entry can never be mistaken for a new parse.
+func (r *Result) UID() uint64 {
+	if v := r.uid.Load(); v != 0 {
+		return v
+	}
+	n := resultUID.Add(1)
+	if r.uid.CompareAndSwap(0, n) {
+		return n
+	}
+	return r.uid.Load()
+}
+
+// FindTree answers a tree query against the result, memoized. It returns
+// nil for schema-kind results. The returned slice is shared: callers must
+// not modify it.
+func (r *Result) FindTree(query string) []*configtree.Node {
+	if r == nil || r.Tree == nil {
+		return nil
+	}
+	r.findMu.RLock()
+	nodes, ok := r.findMemo[query]
+	r.findMu.RUnlock()
+	if ok {
+		return nodes
+	}
+	nodes = r.Tree.Find(query)
+	r.findMu.Lock()
+	if r.findMemo == nil {
+		r.findMemo = make(map[string][]*configtree.Node)
+	}
+	r.findMemo[query] = nodes
+	r.findMu.Unlock()
+	return nodes
 }
 
 // Lens converts raw configuration content into a normalized Result.
@@ -82,6 +141,14 @@ func parseErrorf(lens, path string, line int, format string, args ...any) error 
 type Registry struct {
 	entries []registryEntry
 	byName  map[string]Lens
+
+	// fileMu guards fileMemo, the path → selection memo for ForFile. A
+	// fleet scan asks the same question for the same small set of paths
+	// on every entity; answering from the memo skips the pattern walk.
+	// A present nil value records "no lens matches". Register invalidates
+	// the memo.
+	fileMu   sync.RWMutex
+	fileMemo map[string]Lens
 }
 
 type registryEntry struct {
@@ -102,6 +169,9 @@ func (r *Registry) Register(l Lens, patterns ...string) {
 	for _, p := range patterns {
 		r.entries = append(r.entries, registryEntry{pattern: p, lens: l})
 	}
+	r.fileMu.Lock()
+	r.fileMemo = nil
+	r.fileMu.Unlock()
 }
 
 // ByName returns the lens registered under the given name.
@@ -122,19 +192,37 @@ func (r *Registry) Names() []string {
 // ForFile selects the lens for a file path. Patterns are checked in
 // registration order; the first match wins.
 func (r *Registry) ForFile(filePath string) (Lens, bool) {
+	r.fileMu.RLock()
+	l, hit := r.fileMemo[filePath]
+	r.fileMu.RUnlock()
+	if hit {
+		return l, l != nil
+	}
+	l = r.selectForFile(filePath)
+	r.fileMu.Lock()
+	if r.fileMemo == nil {
+		r.fileMemo = make(map[string]Lens)
+	}
+	r.fileMemo[filePath] = l
+	r.fileMu.Unlock()
+	return l, l != nil
+}
+
+// selectForFile walks the registered patterns in order; first match wins.
+func (r *Registry) selectForFile(filePath string) Lens {
 	base := path.Base(filePath)
 	for _, e := range r.entries {
 		if strings.ContainsRune(e.pattern, '/') {
 			if matchPathSuffix(e.pattern, filePath) {
-				return e.lens, true
+				return e.lens
 			}
 			continue
 		}
 		if ok, err := path.Match(e.pattern, base); err == nil && ok {
-			return e.lens, true
+			return e.lens
 		}
 	}
-	return nil, false
+	return nil
 }
 
 // Parse selects the lens for filePath and parses content with it.

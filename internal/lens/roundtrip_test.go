@@ -1,0 +1,196 @@
+package lens
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Round-trip property tests: for generated inputs, parse → render → parse
+// must reach a fixed point — the second parse yields a tree/table
+// structurally equal to the first. Rendering is canonical (comments and
+// formatting are dropped), so equivalence is checked on the normalized
+// structures, which is exactly what rules evaluate against. Generation is
+// seeded: failures reproduce by seed, never flake.
+
+const roundTripIters = 60
+
+// token draws an identifier-safe string: no comment markers, separators,
+// quotes, or section syntax, so the generated text exercises structure
+// rather than lexical corner cases the formats cannot represent.
+func token(r *rand.Rand, minLen int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-."
+	n := minLen + r.Intn(8)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(alphabet[r.Intn(len(alphabet))])
+	}
+	return b.String()
+}
+
+// sprinkle returns a comment or blank line some of the time, exercising
+// the content the renderer is allowed to drop.
+func sprinkle(r *rand.Rand) string {
+	switch r.Intn(4) {
+	case 0:
+		return "# " + token(r, 1) + "\n"
+	case 1:
+		return "\n"
+	default:
+		return ""
+	}
+}
+
+func TestINIRoundTrip(t *testing.T) {
+	l := NewINI("mysql")
+	r := rand.New(rand.NewSource(41))
+	for iter := 0; iter < roundTripIters; iter++ {
+		var b strings.Builder
+		// Root-level entries first (after a section header they would
+		// attach to that section instead).
+		for i := r.Intn(4); i > 0; i-- {
+			b.WriteString(sprinkle(r))
+			writeRandomINIEntry(&b, r)
+		}
+		for s := r.Intn(4); s > 0; s-- {
+			fmt.Fprintf(&b, "[%s]\n", token(r, 1))
+			// At least one entry per section: an empty section renders
+			// as a bare key, which the format cannot round-trip.
+			for i := 1 + r.Intn(4); i > 0; i-- {
+				b.WriteString(sprinkle(r))
+				writeRandomINIEntry(&b, r)
+			}
+		}
+		assertTreeRoundTrip(t, l, l, iter, b.String())
+	}
+}
+
+func writeRandomINIEntry(b *strings.Builder, r *rand.Rand) {
+	switch r.Intn(4) {
+	case 0: // bare flag, e.g. skip-networking
+		fmt.Fprintf(b, "%s\n", token(r, 1))
+	case 1: // include directive
+		fmt.Fprintf(b, "!include /etc/%s.cnf\n", token(r, 1))
+	default:
+		fmt.Fprintf(b, "%s = %s\n", token(r, 1), token(r, 0))
+	}
+}
+
+func TestKeyValueRoundTrip(t *testing.T) {
+	l := NewKeyValue("keyvalue", "=")
+	r := rand.New(rand.NewSource(42))
+	for iter := 0; iter < roundTripIters; iter++ {
+		var b strings.Builder
+		for i := 1 + r.Intn(8); i > 0; i-- {
+			b.WriteString(sprinkle(r))
+			// Both spaced and compact separators normalize identically;
+			// values may be empty and may contain interior spaces.
+			value := token(r, 0)
+			if r.Intn(3) == 0 {
+				value += " " + token(r, 1)
+			}
+			if r.Intn(2) == 0 {
+				fmt.Fprintf(&b, "%s = %s\n", token(r, 1), value)
+			} else {
+				fmt.Fprintf(&b, "%s=%s\n", token(r, 1), value)
+			}
+		}
+		assertTreeRoundTrip(t, l, l, iter, b.String())
+	}
+}
+
+// assertTreeRoundTrip parses content, renders the tree, reparses, and
+// requires structural equality of the two trees.
+func assertTreeRoundTrip(t *testing.T, parse Lens, render Renderer, iter int, content string) {
+	t.Helper()
+	first, err := parse.Parse("/gen/input", []byte(content))
+	if err != nil {
+		t.Fatalf("iter %d: first parse: %v\ninput:\n%s", iter, err, content)
+	}
+	rendered, err := render.Render(first.Tree)
+	if err != nil {
+		t.Fatalf("iter %d: render: %v\ninput:\n%s", iter, err, content)
+	}
+	second, err := parse.Parse("/gen/input", rendered)
+	if err != nil {
+		t.Fatalf("iter %d: reparse: %v\nrendered:\n%s", iter, err, rendered)
+	}
+	if !first.Tree.Equal(second.Tree) {
+		t.Errorf("iter %d: parse(render(parse(x))) differs from parse(x)\ninput:\n%s\nrendered:\n%s\nfirst:\n%s\nsecond:\n%s",
+			iter, content, rendered, first.Tree, second.Tree)
+	}
+}
+
+func TestTabularRoundTrip(t *testing.T) {
+	configs := []struct {
+		name string
+		lens *Tabular
+	}{
+		{"passwd", NewPasswd()},
+		{"group", NewGroup()},
+		{"fstab", NewFstab()},
+	}
+	r := rand.New(rand.NewSource(43))
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			l := cfg.lens
+			for iter := 0; iter < roundTripIters; iter++ {
+				var b strings.Builder
+				for row := 1 + r.Intn(6); row > 0; row-- {
+					b.WriteString(sprinkle(r))
+					n := l.minFields
+					if n < len(l.columns) {
+						n += r.Intn(len(l.columns) - l.minFields + 1)
+					}
+					fields := make([]string, n)
+					for i := range fields {
+						if l.delimiter != "" && i > 0 && i < n-1 && r.Intn(4) == 0 {
+							// Interior empty fields are representable only
+							// with an explicit delimiter.
+							fields[i] = ""
+							continue
+						}
+						fields[i] = token(r, 1)
+					}
+					b.WriteString(strings.Join(fields, delimiterOrSpace(l.delimiter)))
+					b.WriteByte('\n')
+				}
+				content := b.String()
+
+				first, err := l.Parse("/gen/table", []byte(content))
+				if err != nil {
+					t.Fatalf("iter %d: first parse: %v\ninput:\n%s", iter, err, content)
+				}
+				rendered, err := l.RenderTable(first.Table)
+				if err != nil {
+					t.Fatalf("iter %d: render: %v\ninput:\n%s", iter, err, content)
+				}
+				second, err := l.Parse("/gen/table", rendered)
+				if err != nil {
+					t.Fatalf("iter %d: reparse: %v\nrendered:\n%s", iter, err, rendered)
+				}
+				if !reflect.DeepEqual(first.Table.Columns, second.Table.Columns) ||
+					!reflect.DeepEqual(first.Table.Rows, second.Table.Rows) {
+					t.Errorf("iter %d: table round-trip differs\ninput:\n%s\nrendered:\n%s\nfirst rows: %v\nsecond rows: %v",
+						iter, content, rendered, first.Table.Rows, second.Table.Rows)
+				}
+			}
+		})
+	}
+}
+
+// TestTabularRenderRejectsUnrepresentable pins RenderTable's refusal to
+// emit rows a whitespace-delimited format cannot encode.
+func TestTabularRenderRejectsUnrepresentable(t *testing.T) {
+	l := NewFstab()
+	res, err := l.Parse("/etc/fstab", []byte("/dev/sda1 / ext4 defaults 0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Table.Rows[0][2] = "has space"
+	if _, err := l.RenderTable(res.Table); err == nil {
+		t.Fatal("RenderTable accepted a whitespace-containing field in a whitespace-delimited format")
+	}
+}

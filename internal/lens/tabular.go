@@ -74,6 +74,35 @@ func delimiterOrSpace(d string) string {
 	return d
 }
 
+// RenderTable serializes a parsed table back to the lens's native line
+// format — the schema-side analogue of Renderer, which powers the
+// round-trip property tests. Rendering is canonical rather than
+// comment/whitespace-preserving: the guarantee is Parse(RenderTable(t)) ≡ t.
+// Whitespace-delimited formats cannot represent empty or
+// whitespace-containing interior fields; those rows are rejected.
+func (l *Tabular) RenderTable(t *schema.Table) ([]byte, error) {
+	delim := delimiterOrSpace(l.delimiter)
+	var b strings.Builder
+	for i, row := range t.Rows {
+		end := len(row)
+		for end > l.minFields && end > 0 && row[end-1] == "" {
+			end--
+		}
+		fields := row[:end]
+		if l.delimiter == "" {
+			for _, f := range fields {
+				if f == "" || strings.ContainsAny(f, " \t") {
+					return nil, parseErrorf(l.name, t.File, i+1,
+						"field %q not representable in a whitespace-delimited format", f)
+				}
+			}
+		}
+		b.WriteString(strings.Join(fields, delim))
+		b.WriteByte('\n')
+	}
+	return []byte(b.String()), nil
+}
+
 // NewFstab returns the /etc/fstab lens (whitespace-delimited, six columns;
 // dump and pass are optional).
 func NewFstab() *Tabular {

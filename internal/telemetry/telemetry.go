@@ -135,6 +135,12 @@ type Collector struct {
 	breakerOpens atomic.Int64
 	breakerOpen  atomic.Int64 // 0 closed/half-open, 1 open
 
+	// Parse-cache counters: lookups served from the content-addressed
+	// cache, lookups that had to parse, and entries dropped at capacity.
+	parseCacheHits      atomic.Int64
+	parseCacheMisses    atomic.Int64
+	parseCacheEvictions atomic.Int64
+
 	// Result counters by engine status. StatusPass..StatusDegraded are
 	// 1-based and contiguous; index 0 is unused.
 	statuses [6]atomic.Int64
@@ -267,6 +273,32 @@ func (c *Collector) BreakerClosed() {
 	c.breakerOpen.Store(0)
 }
 
+// ParseCacheHit records one parse-cache lookup served from cache. The
+// three ParseCache* methods implement crawler.CacheMetrics, so a Collector
+// can be attached directly to a crawler.ParseCache.
+func (c *Collector) ParseCacheHit() {
+	if c == nil {
+		return
+	}
+	c.parseCacheHits.Add(1)
+}
+
+// ParseCacheMiss records one parse-cache lookup that had to parse.
+func (c *Collector) ParseCacheMiss() {
+	if c == nil {
+		return
+	}
+	c.parseCacheMisses.Add(1)
+}
+
+// ParseCacheEviction records one parse-cache entry dropped at capacity.
+func (c *Collector) ParseCacheEviction() {
+	if c == nil {
+		return
+	}
+	c.parseCacheEvictions.Add(1)
+}
+
 // RequestDone records one HTTP request against a route pattern.
 func (c *Collector) RequestDone(route string, code int, d time.Duration) {
 	if c == nil {
@@ -292,6 +324,10 @@ type Snapshot struct {
 	// trips and BreakerOpen reports whether it is open right now.
 	InFlightScans, QueueDepth, Shed, BreakerOpens int64
 	BreakerOpen                                   bool
+	// ParseCacheHits/Misses/Evictions describe the content-addressed
+	// parse cache: hits are files whose normalized form was reused,
+	// misses had to parse, evictions were dropped at capacity.
+	ParseCacheHits, ParseCacheMisses, ParseCacheEvictions int64
 	// ResultsByStatus tallies individual rule results across all scans.
 	ResultsByStatus map[engine.Status]int64
 	// ScanLatency is the scan-duration histogram.
@@ -306,20 +342,23 @@ type Snapshot struct {
 // Snapshot copies the current counter values.
 func (c *Collector) Snapshot() Snapshot {
 	s := Snapshot{
-		Scans:           c.scans.Load(),
-		Errors:          c.errors.Load(),
-		Retries:         c.retries.Load(),
-		Panics:          c.panics.Load(),
-		Timeouts:        c.timeouts.Load(),
-		InFlightScans:   c.inflight.Load(),
-		QueueDepth:      c.queueDepth.Load(),
-		Shed:            c.shed.Load(),
-		BreakerOpens:    c.breakerOpens.Load(),
-		BreakerOpen:     c.breakerOpen.Load() != 0,
-		ResultsByStatus: make(map[engine.Status]int64, 5),
-		ScanLatency:     c.scanLatency.snapshot(),
-		HTTPRequests:    make(map[string]int64),
-		HTTPLatency:     c.httpLatency.snapshot(),
+		Scans:               c.scans.Load(),
+		Errors:              c.errors.Load(),
+		Retries:             c.retries.Load(),
+		Panics:              c.panics.Load(),
+		Timeouts:            c.timeouts.Load(),
+		InFlightScans:       c.inflight.Load(),
+		QueueDepth:          c.queueDepth.Load(),
+		Shed:                c.shed.Load(),
+		BreakerOpens:        c.breakerOpens.Load(),
+		BreakerOpen:         c.breakerOpen.Load() != 0,
+		ParseCacheHits:      c.parseCacheHits.Load(),
+		ParseCacheMisses:    c.parseCacheMisses.Load(),
+		ParseCacheEvictions: c.parseCacheEvictions.Load(),
+		ResultsByStatus:     make(map[engine.Status]int64, 5),
+		ScanLatency:         c.scanLatency.snapshot(),
+		HTTPRequests:        make(map[string]int64),
+		HTTPLatency:         c.httpLatency.snapshot(),
 	}
 	for _, status := range []engine.Status{engine.StatusPass, engine.StatusFail, engine.StatusNotApplicable, engine.StatusError, engine.StatusDegraded} {
 		if n := c.statuses[status].Load(); n != 0 {
@@ -360,6 +399,9 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 	counter("configvalidator_scan_timeouts_total", "Scans abandoned at their deadline.", s.Timeouts)
 	counter("configvalidator_requests_shed_total", "HTTP requests rejected at admission (429).", s.Shed)
 	counter("configvalidator_breaker_opens_total", "Circuit-breaker trips.", s.BreakerOpens)
+	counter("configvalidator_parse_cache_hits_total", "Parse-cache lookups served from cache.", s.ParseCacheHits)
+	counter("configvalidator_parse_cache_misses_total", "Parse-cache lookups that had to parse.", s.ParseCacheMisses)
+	counter("configvalidator_parse_cache_evictions_total", "Parse-cache entries dropped at capacity.", s.ParseCacheEvictions)
 
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"configvalidator/internal/crawler"
 	"configvalidator/internal/engine"
 )
 
@@ -125,5 +126,37 @@ func TestCollectorConcurrency(t *testing.T) {
 	}
 	if s.ResultsByStatus[engine.StatusPass] != 4000 {
 		t.Errorf("pass results = %d", s.ResultsByStatus[engine.StatusPass])
+	}
+}
+
+func TestParseCacheCounters(t *testing.T) {
+	// The Collector doubles as the crawler's cache metrics sink.
+	var _ crawler.CacheMetrics = NewCollector()
+
+	c := NewCollector()
+	c.ParseCacheHit()
+	c.ParseCacheHit()
+	c.ParseCacheMiss()
+	c.ParseCacheEviction()
+
+	s := c.Snapshot()
+	if s.ParseCacheHits != 2 || s.ParseCacheMisses != 1 || s.ParseCacheEvictions != 1 {
+		t.Errorf("hits/misses/evictions = %d/%d/%d, want 2/1/1",
+			s.ParseCacheHits, s.ParseCacheMisses, s.ParseCacheEvictions)
+	}
+
+	var b strings.Builder
+	if err := c.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"configvalidator_parse_cache_hits_total 2",
+		"configvalidator_parse_cache_misses_total 1",
+		"configvalidator_parse_cache_evictions_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
 	}
 }

@@ -63,6 +63,11 @@ type (
 	// FaultInjector is a deterministic fault injector for chaos testing;
 	// see WithFaults and the faults package.
 	FaultInjector = faults.Injector
+	// ParseCache is the fleet-scoped content-addressed parse cache; see
+	// WithParseCache.
+	ParseCache = crawler.ParseCache
+	// ParseCacheStats is a point-in-time copy of a ParseCache's counters.
+	ParseCacheStats = crawler.ParseCacheStats
 )
 
 // Status values, re-exported.
@@ -76,6 +81,10 @@ const (
 	// scan completed; this one result cannot be trusted.
 	StatusDegraded = engine.StatusDegraded
 )
+
+// DefaultParseCacheSize is the parse-cache capacity (in files) used when
+// NewParseCache is given a non-positive value.
+const DefaultParseCacheSize = crawler.DefaultParseCacheSize
 
 // ErrUnknownTarget reports a ValidateTarget call naming a manifest entity
 // that does not exist — a caller mistake, not a validation failure. The
@@ -93,19 +102,22 @@ type Validator struct {
 	engine    *engine.Engine
 	telemetry *telemetry.Collector
 	faults    *faults.Injector
+	cache     *crawler.ParseCache
 }
 
 // Option customizes a Validator.
 type Option func(*config)
 
 type config struct {
-	manifest  *cvl.Manifest
-	reader    cvl.FileReader
-	registry  *lens.Registry
-	crawlOpt  crawler.Options
-	extended  bool
-	telemetry *telemetry.Collector
-	faults    *faults.Injector
+	manifest    *cvl.Manifest
+	reader      cvl.FileReader
+	registry    *lens.Registry
+	crawlOpt    crawler.Options
+	extended    bool
+	telemetry   *telemetry.Collector
+	faults      *faults.Injector
+	parseCache  *crawler.ParseCache
+	parallelism int
 }
 
 // WithManifest uses a custom manifest and rule-file reader instead of the
@@ -157,6 +169,30 @@ func WithFaults(inj *FaultInjector) Option {
 	return func(c *config) { c.faults = inj }
 }
 
+// WithParallelism bounds the engine's intra-entity worker pool: manifest
+// entries are prepared concurrently and independent non-composite rules
+// evaluate concurrently, with results gathered into the same deterministic
+// report order as a serial run. 0 (the default) uses GOMAXPROCS; 1 keeps
+// the serial path. This composes with FleetOptions.Workers: fleet workers
+// parallelize across entities, this option parallelizes within one.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = n }
+}
+
+// WithParseCache attaches a content-addressed parse cache: identical file
+// content (same lens, path, and SHA-256) parses once across every entity
+// scanned through this Validator — the fleet-dedup observation that images
+// overwhelmingly share /etc payloads. When telemetry is also attached, the
+// cache reports hit/miss/eviction counters through it. Share one cache
+// across Validators to widen the dedup scope.
+func WithParseCache(cache *ParseCache) Option {
+	return func(c *config) { c.parseCache = cache }
+}
+
+// NewParseCache creates a parse cache for WithParseCache holding at most
+// capacity parsed files (<= 0 uses a 4096-entry default), evicting LRU.
+func NewParseCache(capacity int) *ParseCache { return crawler.NewParseCache(capacity) }
+
 // ParseFaults builds a fault injector from a CV_FAULTS-style spec string.
 func ParseFaults(spec string) (*FaultInjector, error) { return faults.Parse(spec) }
 
@@ -192,7 +228,21 @@ func New(opts ...Option) (*Validator, error) {
 		return nil, fmt.Errorf("configvalidator: a manifest requires a rule-file reader")
 	}
 	c.crawlOpt.Faults = c.faults
-	eng := engine.New(crawler.New(c.registry, c.crawlOpt))
+	if c.parseCache != nil {
+		if c.telemetry != nil {
+			c.parseCache.SetMetrics(c.telemetry)
+		}
+		c.crawlOpt.Cache = c.parseCache
+	}
+	engOpts := engine.Options{Parallelism: c.parallelism}
+	if c.parseCache != nil {
+		// With a parse cache, identical file content across entities
+		// shares one parsed Result — which also makes tree/schema rule
+		// verdicts content-addressable, so turn on the engine's verdict
+		// memo (pure overhead without the cache).
+		engOpts.EvalCacheSize = -1
+	}
+	eng := engine.NewWithOptions(crawler.New(c.registry, c.crawlOpt), engOpts)
 	eng.SetFaults(c.faults)
 	return &Validator{
 		manifest:  c.manifest,
@@ -201,8 +251,13 @@ func New(opts ...Option) (*Validator, error) {
 		engine:    eng,
 		telemetry: c.telemetry,
 		faults:    c.faults,
+		cache:     c.parseCache,
 	}, nil
 }
+
+// ParseCacheStats copies the attached parse cache's counters; the zero
+// value is returned when the Validator was built without WithParseCache.
+func (v *Validator) ParseCacheStats() ParseCacheStats { return v.cache.Stats() }
 
 // Telemetry returns the attached metrics collector, or nil when the
 // Validator was built without WithTelemetry.
