@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race lint fuzz ci bench bench-check
+.PHONY: build test vet race lint fuzz resume-smoke ci bench bench-check
 
 build:
 	$(GO) build ./...
@@ -28,8 +28,13 @@ fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime $(FUZZTIME) -run FuzzDecode ./internal/yaml/
 	$(GO) test -fuzz FuzzSSHDParse -fuzztime $(FUZZTIME) -run FuzzSSHDParse ./internal/lens/
 
+# Kill-and-resume smoke: crash a journaled fleet scan partway, resume,
+# and require the summary to match an uninterrupted run's.
+resume-smoke:
+	./scripts/resume_smoke.sh
+
 # The full gate: what CI runs on every change.
-ci: build lint race fuzz
+ci: build lint race resume-smoke fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

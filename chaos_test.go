@@ -11,8 +11,12 @@ package configvalidator
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -315,6 +319,218 @@ func TestChaosTransientWalkRetriesToClean(t *testing.T) {
 	}
 	if inj.Injected() != 1 {
 		t.Fatalf("injected = %d, want 1", inj.Injected())
+	}
+}
+
+// chaosFleet returns the first n chaos entities as a slice (for
+// sendEntities).
+func chaosFleet(n int) []Entity {
+	ents := make([]Entity, n)
+	for i := range ents {
+		ents[i] = chaosEntity(i)
+	}
+	return ents
+}
+
+// summarizeSlice replays drained results through Summarize.
+func summarizeSlice(results []FleetResult) FleetSummary {
+	ch := make(chan FleetResult, len(results))
+	for _, r := range results {
+		ch <- r
+	}
+	close(ch)
+	return Summarize(ch)
+}
+
+// appendTornRecord leaves the journal in the on-disk state a SIGKILL
+// mid-append produces: a record header promising more payload bytes than
+// follow it. Layout mirrors the pinned format ([len u32le][crc u32le]
+// [payload]; see journal.TestFormatPinned).
+func appendTornRecord(t *testing.T, path string) {
+	t.Helper()
+	payload := []byte(`{"entity":"chaos-host-torn","digest":"deadbeef"}`)
+	var rec bytes.Buffer
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	rec.Write(hdr[:])
+	rec.Write(payload)
+	torn := rec.Bytes()[:rec.Len()-7]
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosCrashDrillResume is the crash drill: a journaled fleet scan is
+// "killed" after the Nth entity — the journal simply stops there, plus a
+// torn half-record at the tail, exactly what dying mid-append leaves on
+// disk. The re-run over the full fleet must recover the journal (truncate
+// the torn tail, never abort), replay the N completed entities without
+// re-scanning them, scan only the remainder, and produce per-entity
+// reports and a summary digest byte-identical to an uninterrupted run's.
+func TestChaosCrashDrillResume(t *testing.T) {
+	const crashAt = 17
+
+	// Uninterrupted baseline: per-entity reports and the summary line.
+	cleanV, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := make(map[string][]byte, chaosFleetSize)
+	var clean []FleetResult
+	for res := range cleanV.ValidateFleet(context.Background(), sendEntities(chaosFleet(chaosFleetSize)...), FleetOptions{Workers: 8}) {
+		if res.Err != nil {
+			t.Fatalf("clean scan of %s: %v", res.Entity, res.Err)
+		}
+		baseline[res.Entity] = reportJSON(t, res.Report)
+		clean = append(clean, res)
+	}
+	cleanSummary := summarizeSlice(clean).String()
+
+	// Crashed run: only the first crashAt entities complete. The journal is
+	// deliberately NOT closed — a killed process never gets to — and the
+	// tail gains a torn half-record, as if the kill landed mid-append.
+	jpath := filepath.Join(t.TempDir(), "fleet.cvj")
+	j1, err := OpenJournal(jpath, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashV, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for res := range crashV.ValidateFleet(context.Background(), sendEntities(chaosFleet(crashAt)...), FleetOptions{Workers: 8, Journal: j1}) {
+		if res.Err != nil {
+			t.Fatalf("pre-crash scan of %s: %v", res.Entity, res.Err)
+		}
+	}
+	appendTornRecord(t, jpath)
+
+	// Resume: recovery must swallow the torn tail (one corrupt record,
+	// truncated away) and index the crashAt completed entities.
+	collector := NewCollector()
+	j2, err := OpenJournal(jpath, JournalOptions{Metrics: collector})
+	if err != nil {
+		t.Fatalf("journal recovery aborted on torn tail: %v", err)
+	}
+	defer func() { _ = j2.Close() }()
+	if st := j2.Stats(); st.Replayed != crashAt || st.CorruptRecords != 1 {
+		t.Fatalf("recovered journal: replayed=%d corrupt=%d, want %d/1", st.Replayed, st.CorruptRecords, crashAt)
+	}
+
+	resumedNames := make(map[string]bool, crashAt)
+	for i := 0; i < crashAt; i++ {
+		resumedNames[chaosEntity(i).Name()] = true
+	}
+	resumeV, err := New(WithTelemetry(collector))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resumed []FleetResult
+	replayCount := 0
+	for res := range resumeV.ValidateFleet(context.Background(), sendEntities(chaosFleet(chaosFleetSize)...), FleetOptions{Workers: 8, Journal: j2}) {
+		if res.Err != nil {
+			t.Fatalf("resumed scan of %s: %v", res.Entity, res.Err)
+		}
+		if res.Resumed {
+			replayCount++
+			if !resumedNames[res.Entity] {
+				t.Errorf("entity %s replayed but was never journaled", res.Entity)
+			}
+		} else if resumedNames[res.Entity] {
+			t.Errorf("entity %s re-scanned despite a journaled completed record", res.Entity)
+		}
+		if got := reportJSON(t, res.Report); !bytes.Equal(got, baseline[res.Entity]) {
+			t.Errorf("entity %s: resumed-run report differs from clean-run report", res.Entity)
+		}
+		resumed = append(resumed, res)
+	}
+	if len(resumed) != chaosFleetSize {
+		t.Fatalf("resumed run returned %d results, want %d", len(resumed), chaosFleetSize)
+	}
+	if replayCount != crashAt {
+		t.Errorf("replayed %d entities, want %d", replayCount, crashAt)
+	}
+	if got := collector.Snapshot().JournalSkippedEntities; got != crashAt {
+		t.Errorf("journal_skipped_entities_total = %d, want %d", got, crashAt)
+	}
+	if got := summarizeSlice(resumed).String(); got != cleanSummary {
+		t.Errorf("merged summary differs from clean run:\n  clean:   %s\n  resumed: %s", cleanSummary, got)
+	}
+	// Only the entities the crash lost were appended on resume.
+	if st := j2.Stats(); st.Appends != chaosFleetSize-crashAt {
+		t.Errorf("resume appended %d records, want %d", st.Appends, chaosFleetSize-crashAt)
+	}
+}
+
+// TestChaosCrashDrillErrorRecordRescans pins the failed-scan half of the
+// resume protocol: a scan that errors (here, an injected walk panic) is
+// journaled as an audit-only error record, so an otherwise-complete run
+// resumed under a healthy validator replays everything EXCEPT that
+// entity, which gets the re-scan it needs.
+func TestChaosCrashDrillErrorRecordRescans(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "fleet.cvj")
+	j1, err := OpenJournal(jpath, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.MustNew(faults.Rule{Op: faults.OpWalk, Nth: 1, Kind: faults.KindPanic})
+	v1, err := New(WithFaults(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed string
+	for res := range v1.ValidateFleet(context.Background(), sendEntities(chaosFleet(chaosFleetSize)...), FleetOptions{Workers: 8, Journal: j1}) {
+		if res.Err == nil {
+			continue
+		}
+		if failed != "" {
+			t.Fatalf("second scan failure %s (already had %s), want exactly one", res.Entity, failed)
+		}
+		failed = res.Entity
+		var pe *PanicError
+		if !errors.As(res.Err, &pe) {
+			t.Errorf("injected walk panic not isolated as PanicError: %v", res.Err)
+		}
+	}
+	if failed == "" {
+		t.Fatal("no scan consumed the injected walk panic")
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	collector := NewCollector()
+	j2, err := OpenJournal(jpath, JournalOptions{Metrics: collector})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = j2.Close() }()
+	v2, err := New(WithTelemetry(collector)) // fault-free: the re-scan succeeds
+	if err != nil {
+		t.Fatal(err)
+	}
+	for res := range v2.ValidateFleet(context.Background(), sendEntities(chaosFleet(chaosFleetSize)...), FleetOptions{Workers: 8, Journal: j2}) {
+		if res.Err != nil {
+			t.Fatalf("resumed scan of %s: %v", res.Entity, res.Err)
+		}
+		if res.Entity == failed {
+			if res.Resumed {
+				t.Errorf("entity %s replayed its error record instead of re-scanning", failed)
+			}
+		} else if !res.Resumed {
+			t.Errorf("entity %s re-scanned despite a journaled completed record", res.Entity)
+		}
+	}
+	if got := collector.Snapshot().JournalSkippedEntities; got != chaosFleetSize-1 {
+		t.Errorf("journal_skipped_entities_total = %d, want %d", got, chaosFleetSize-1)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -30,6 +31,7 @@ import (
 	"configvalidator/internal/cvl"
 	"configvalidator/internal/engine"
 	"configvalidator/internal/fixtures"
+	"configvalidator/internal/fsutil"
 	"configvalidator/internal/rules"
 )
 
@@ -41,7 +43,8 @@ func main() {
 		fleet    = flag.Int("fleet", 0, "scan a fleet of N generated images and report throughput")
 		all      = flag.Bool("all", false, "produce every report")
 		iters    = flag.Int("iters", 50, "iterations per engine for -table2")
-		snapshot = flag.String("snapshot", "", "convert `go test -bench` text output (file, or '-' for stdin) to bench JSON on stdout")
+		snapshot = flag.String("snapshot", "", "convert `go test -bench` text output (file, or '-' for stdin) to bench JSON")
+		snapOut  = flag.String("o", "", "write -snapshot JSON atomically to this `file` instead of stdout")
 		diff     = flag.Bool("diff", false, "compare two bench JSON files (args: baseline new); exit 1 on regression")
 	)
 	flag.Parse()
@@ -56,7 +59,18 @@ func main() {
 			defer f.Close()
 			in = f
 		}
-		if err := writeSnapshot(in, os.Stdout, "benchmark snapshot, see `make bench-check`"); err != nil {
+		const header = "benchmark snapshot, see `make bench-check`"
+		var err error
+		if *snapOut != "" {
+			// Atomic replace: a crash mid-conversion must not leave a torn
+			// baseline for the benchmark gate.
+			err = fsutil.WriteAtomic(*snapOut, 0o644, func(w io.Writer) error {
+				return writeSnapshot(in, w, header)
+			})
+		} else {
+			err = writeSnapshot(in, os.Stdout, header)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)
 			os.Exit(1)
 		}

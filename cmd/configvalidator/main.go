@@ -52,6 +52,7 @@ func run(args []string, out io.Writer) error {
 		failOn    = fs.Bool("fail-on-findings", false, "exit nonzero when any check fails")
 		suggest   = fs.Bool("suggest-fixes", false, "print proposed configuration edits for remediable failures")
 		extended  = fs.Bool("extended", false, "include the extended rule pack (passwd, group, limits, cron)")
+		ckpt      = fs.String("checkpoint", "", "durable result journal: replay the journaled report when the entity's config is unchanged, else scan and append")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,14 +82,46 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	var report *configvalidator.Report
-	if *target != "" {
-		report, err = v.ValidateTarget(ent, *target)
-	} else {
-		report, err = v.Validate(ent)
+	// With -checkpoint, an unchanged entity replays its journaled report
+	// instead of re-scanning (idempotent re-validation); a changed or
+	// never-seen one scans and appends.
+	var (
+		report *configvalidator.Report
+		jrnl   *configvalidator.Journal
+		digest string
+	)
+	if *ckpt != "" {
+		jrnl, err = configvalidator.OpenJournal(*ckpt, configvalidator.JournalOptions{})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = jrnl.Close() }()
+		if d, derr := v.ConfigDigest(ent, *target); derr == nil {
+			digest = d
+			if rec, ok := jrnl.Lookup(ent.Name(), d); ok {
+				report = rec.Report.Report()
+				fmt.Fprintf(os.Stderr, "configvalidator: %s unchanged, replaying journaled result\n", ent.Name())
+			}
+		}
 	}
-	if err != nil {
-		return err
+	if report == nil {
+		if *target != "" {
+			report, err = v.ValidateTarget(ent, *target)
+		} else {
+			report, err = v.Validate(ent)
+		}
+		if err != nil {
+			return err
+		}
+		if jrnl != nil {
+			if aerr := jrnl.Append(configvalidator.JournalRecord{
+				Entity: ent.Name(),
+				Digest: digest,
+				Report: configvalidator.NewJournalReport(report),
+			}); aerr != nil {
+				fmt.Fprintln(os.Stderr, "configvalidator: checkpoint append:", aerr)
+			}
+		}
 	}
 
 	outOpts := configvalidator.OutputOptions{

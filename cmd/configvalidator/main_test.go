@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"configvalidator/internal/fixtures"
+	"configvalidator/internal/journal"
 )
 
 func runCLI(t *testing.T, args ...string) (string, error) {
@@ -45,6 +46,42 @@ func TestDemoImageJSONOutput(t *testing.T) {
 	}
 	if decoded.Entity != "demo-app:v1" || decoded.Summary["fail"] == 0 {
 		t.Errorf("decoded = %+v", decoded)
+	}
+}
+
+// TestCheckpointReplaysUnchangedEntity pins the -checkpoint contract: the
+// second run of an unchanged entity replays the journaled report (no new
+// journal record) and renders byte-identically.
+func TestCheckpointReplaysUnchangedEntity(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "scan.cvj")
+	args := []string{"-demo", "host", "-misconfig", "0.5", "-seed", "4", "-format", "json", "-checkpoint", ckpt}
+	first, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Errorf("replayed output differs from scanned output:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+	j, err := journal.Open(ckpt, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if st := j.Stats(); st.Replayed != 1 {
+		t.Errorf("journal holds %d records, want 1 (second run must not re-append)", st.Replayed)
+	}
+
+	// A different entity config must bypass the journaled record.
+	changed, err := runCLI(t, "-demo", "host", "-misconfig", "0", "-seed", "4", "-format", "json", "-checkpoint", ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == first {
+		t.Error("changed entity replayed a stale journaled report")
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"configvalidator/internal/entity"
 	"configvalidator/internal/fixtures"
 	"configvalidator/internal/frames"
+	"configvalidator/internal/fsutil"
 )
 
 func main() {
@@ -73,16 +74,13 @@ func run(args []string) error {
 		return err
 	}
 
-	out := os.Stdout
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
+		// Atomic replace: a crash (or a watcher reading mid-write) must
+		// never observe a torn frame where a previous good one was.
+		if err := fsutil.WriteAtomic(*outPath, 0o644, frame.Write); err != nil {
 			return err
 		}
-		defer func() { _ = f.Close() }()
-		out = f
-	}
-	if err := frame.Write(out); err != nil {
+	} else if err := frame.Write(os.Stdout); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "captured %d files, %d packages from %s (%s)\n",

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"configvalidator/internal/analysis"
+	"configvalidator/internal/fsutil"
 	"configvalidator/internal/rules"
 )
 
@@ -103,15 +104,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	result := analysis.Analyze(project, analysis.Options{ExternalParents: fileMode})
 
 	if *writeBaseline != "" {
-		f, err := os.Create(*writeBaseline)
-		if err != nil {
-			fmt.Fprintln(stderr, "cvlint:", err)
-			return 2
-		}
-		err = analysis.NewBaseline(result.Diagnostics).Encode(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
+		// Atomic replace: an interrupted rewrite must not corrupt the
+		// baseline the whole CI gate depends on.
+		err := fsutil.WriteAtomic(*writeBaseline, 0o644, func(w io.Writer) error {
+			return analysis.NewBaseline(result.Diagnostics).Encode(w)
+		})
 		if err != nil {
 			fmt.Fprintln(stderr, "cvlint:", err)
 			return 2

@@ -48,6 +48,8 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 		interval    = fs.Duration("interval", time.Hour, "scan interval")
 		maxScans    = fs.Int("max-scans", 0, "stop after N scans (0 = run until interrupted)")
 		metricsAddr = fs.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
+		checkpoint  = fs.String("checkpoint", "", "durable baseline journal: drift survives restarts (created if missing)")
+		maxFails    = fs.Int("max-consecutive-failures", 3, "exit after this many consecutive scan failures (0 = keep trying forever)")
 		parallelism = fs.Int("parallelism", 0, "intra-entity evaluation parallelism (0 = GOMAXPROCS, 1 = serial)")
 		cacheSize   = fs.Int("parse-cache", configvalidator.DefaultParseCacheSize, "content-addressed parse cache capacity in files (0 = disabled); repeated scans of an unchanged entity skip re-parsing")
 	)
@@ -110,14 +112,60 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 	}
 
 	var previous *configvalidator.Report
-	scans := 0
-	ticker := time.NewTicker(*interval)
-	defer ticker.Stop()
-	for {
-		report, err := scan()
+
+	// With a checkpoint journal the drift baseline survives restarts: the
+	// latest journaled report is restored before the first scan, so the
+	// first post-restart drift is computed against the last pre-restart
+	// state instead of silently resetting. Startup compaction keeps the
+	// journal at one record per watched entity.
+	var jrnl *configvalidator.Journal
+	if *checkpoint != "" {
+		jrnl, err = configvalidator.OpenJournal(*checkpoint, configvalidator.JournalOptions{Metrics: collector})
 		if err != nil {
 			return err
 		}
+		defer func() { _ = jrnl.Close() }()
+		if rec, ok := jrnl.Latest(); ok {
+			previous = rec.Report.Report()
+			fmt.Fprintf(errOut, "cvwatch: baseline for %s restored from %s\n", rec.Entity, *checkpoint)
+		}
+		if err := jrnl.Compact(); err != nil {
+			return err
+		}
+	}
+
+	scans := 0
+	consecutiveFailures := 0
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	// wait blocks until the next tick; false means the watch was stopped.
+	wait := func() bool {
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(out, "cvwatch: stopped")
+			return false
+		case <-ticker.C:
+			return true
+		}
+	}
+	for {
+		report, err := scan()
+		if err != nil {
+			// A transient failure (frame mid-rewrite, unreachable root)
+			// must not kill the watch and must not reset the baseline:
+			// log it, skip the tick, and only give up after maxFails in a
+			// row.
+			consecutiveFailures++
+			fmt.Fprintf(errOut, "cvwatch: scan failed (%d consecutive): %v\n", consecutiveFailures, err)
+			if *maxFails > 0 && consecutiveFailures >= *maxFails {
+				return fmt.Errorf("%d consecutive scan failures, last: %w", consecutiveFailures, err)
+			}
+			if !wait() {
+				return nil
+			}
+			continue
+		}
+		consecutiveFailures = 0
 		scans++
 		counts := report.Counts()
 		fmt.Fprintf(out, "[scan %d] %s: %d pass, %d fail, %d n/a",
@@ -139,14 +187,19 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 			}
 		}
 		previous = report
+		if jrnl != nil {
+			if aerr := jrnl.Append(configvalidator.JournalRecord{
+				Entity: report.EntityName,
+				Report: configvalidator.NewJournalReport(report),
+			}); aerr != nil {
+				fmt.Fprintf(errOut, "cvwatch: checkpoint append: %v\n", aerr)
+			}
+		}
 		if *maxScans > 0 && scans >= *maxScans {
 			return nil
 		}
-		select {
-		case <-ctx.Done():
-			fmt.Fprintln(out, "cvwatch: stopped")
+		if !wait() {
 			return nil
-		case <-ticker.C:
 		}
 	}
 }

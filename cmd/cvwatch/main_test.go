@@ -106,7 +106,7 @@ func TestWatchFlagErrors(t *testing.T) {
 		nil,
 		{"-host", "/x", "-frame", "/y"},
 		{"-frame", "/z", "-interval", "-1s"},
-		{"-frame", "/no/such.frame", "-max-scans", "1"},
+		{"-frame", "/no/such.frame", "-max-scans", "1", "-max-consecutive-failures", "1"},
 	} {
 		if err := run(context.Background(), args, &out, &errOut); err == nil {
 			t.Errorf("args %v succeeded", args)
@@ -191,6 +191,115 @@ func TestWatchMetricsEndpoint(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("watcher did not stop")
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWatchSurvivesBrieflyUnreadableFrame pins the transient-failure
+// contract: a frame file that disappears for a few ticks is logged and
+// skipped — the watch keeps running, keeps its baseline, and resumes
+// scanning when the file returns.
+func TestWatchSurvivesBrieflyUnreadableFrame(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.frame")
+	writeFrameFile(t, path, 0, 6)
+	hidden := path + ".hidden"
+
+	var out, errOut syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(context.Background(), []string{
+			"-frame", path, "-interval", "30ms", "-max-scans", "2",
+			"-max-consecutive-failures", "0",
+		}, &out, &errOut)
+	}()
+	waitFor(t, "first scan", func() bool { return strings.Contains(out.String(), "[scan 1]") })
+	if err := os.Rename(path, hidden); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "a logged scan failure", func() bool {
+		return strings.Contains(errOut.String(), "scan failed")
+	})
+	if err := os.Rename(hidden, path); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("watch died on a transient failure: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("watch did not recover")
+	}
+	if !strings.Contains(out.String(), "[scan 2]") {
+		t.Errorf("second scan missing after recovery:\n%s", out.String())
+	}
+	// The frame never changed, so the kept baseline must show no drift.
+	if strings.Contains(out.String(), "REGRESSIONS") {
+		t.Errorf("phantom drift across the outage:\n%s", out.String())
+	}
+}
+
+// TestWatchExitsAfterMaxConsecutiveFailures: failures in a row beyond the
+// limit end the watch with an error naming the count.
+func TestWatchExitsAfterMaxConsecutiveFailures(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run(context.Background(), []string{
+		"-frame", filepath.Join(t.TempDir(), "never.frame"),
+		"-interval", "10ms", "-max-consecutive-failures", "3",
+	}, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "3 consecutive scan failures") {
+		t.Fatalf("err = %v, want consecutive-failure error", err)
+	}
+	if got := strings.Count(errOut.String(), "scan failed"); got != 3 {
+		t.Errorf("logged failures = %d, want 3:\n%s", got, errOut.String())
+	}
+}
+
+// TestWatchCheckpointRestoresBaseline pins the durable-drift contract: a
+// restarted watch with -checkpoint diffs its first scan against the last
+// report of the previous process instead of silently resetting.
+func TestWatchCheckpointRestoresBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.frame")
+	ckpt := filepath.Join(dir, "baseline.cvj")
+	writeFrameFile(t, path, 0, 7)
+
+	var out1, errOut1 bytes.Buffer
+	if err := run(context.Background(), []string{
+		"-frame", path, "-interval", "10ms", "-max-scans", "1", "-checkpoint", ckpt,
+	}, &out1, &errOut1); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out1.String(), "REGRESSIONS") {
+		t.Fatalf("first-ever scan has no baseline to drift from:\n%s", out1.String())
+	}
+
+	// The entity degrades while the watcher is down.
+	writeFrameFile(t, path, 1, 7)
+
+	var out2, errOut2 bytes.Buffer
+	if err := run(context.Background(), []string{
+		"-frame", path, "-interval", "10ms", "-max-scans", "1", "-checkpoint", ckpt,
+	}, &out2, &errOut2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut2.String(), "baseline") {
+		t.Errorf("restart did not announce the restored baseline:\n%s", errOut2.String())
+	}
+	if !strings.Contains(out2.String(), "REGRESSIONS") {
+		t.Errorf("drift across the restart not detected:\n%s", out2.String())
 	}
 }
 

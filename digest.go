@@ -1,0 +1,153 @@
+package configvalidator
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"configvalidator/internal/cvl"
+	"configvalidator/internal/entity"
+)
+
+// ConfigDigest computes the SHA-256 identity of everything that could
+// change a validation verdict for this entity: the rule files of the
+// selected manifest entries (so a rule-library edit invalidates journaled
+// results), the metadata and content of every file under the entries'
+// config search paths, the installed-package database, and the names of
+// the entity's runtime features. Two entities with equal digests validate
+// to byte-identical reports, which is what lets a resumed or re-run fleet
+// scan replay a journaled result instead of re-scanning (see
+// FleetOptions.Journal).
+//
+// Known digest blind spots, accepted for cheapness: runtime feature
+// *outputs* are not executed (only the feature list participates), and
+// rule-file inheritance chains deeper than one parent hash only the first
+// two files. Both change rarely relative to config files; when they do, a
+// Compact()ed journal or a new journal path forces a full re-scan.
+//
+// target selects one manifest entity as in ValidateTarget; empty digests
+// the full manifest. Panics from entity implementations are recovered into
+// errors. Any error means "no digest": the caller must scan.
+func (v *Validator) ConfigDigest(e Entity, target string) (dig string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("configvalidator: digest %s: panic: %v", e.Name(), r)
+		}
+	}()
+
+	var entries []*cvl.ManifestEntry
+	if target == "" {
+		entries = v.manifest.EnabledEntries()
+	} else {
+		entry, ok := v.manifest.Entry(target)
+		if !ok {
+			return "", fmt.Errorf("configvalidator: %w: %q", ErrUnknownTarget, target)
+		}
+		entries = []*cvl.ManifestEntry{entry}
+	}
+
+	h := sha256.New()
+	io.WriteString(h, "cvdigest/1\x00")
+
+	// Rule-library fingerprint: the verdict depends on the rules as much as
+	// on the config, so a rule edit must change the digest.
+	for _, entry := range entries {
+		io.WriteString(h, "entry\x00"+entry.Name+"\x00")
+		for _, file := range []string{entry.CVLFile, entry.ParentCVLFile} {
+			if file == "" {
+				continue
+			}
+			fp, ferr := v.ruleFileFingerprint(file)
+			if ferr != nil {
+				return "", fmt.Errorf("configvalidator: digest %s: rule file %s: %w", e.Name(), file, ferr)
+			}
+			io.WriteString(h, file+"\x00"+fp+"\x00")
+		}
+	}
+
+	// Config files: metadata and content of everything under the union of
+	// the entries' search paths. Roots absent from the entity contribute
+	// nothing (their absence is itself part of the digest via omission of
+	// their files); any other walk or read failure aborts the digest — a
+	// half-observed entity must not replay.
+	for _, root := range searchPathUnion(entries) {
+		io.WriteString(h, "root\x00"+root+"\x00")
+		werr := e.Walk(root, func(fi entity.FileInfo) error {
+			fmt.Fprintf(h, "f\x00%s\x00%d\x00%o\x00%d\x00%d\x00%d\x00",
+				fi.Path, fi.Size, uint32(fi.Mode), fi.UID, fi.GID, fi.ModTime.UnixNano())
+			if fi.IsDir() {
+				return nil
+			}
+			data, rerr := e.ReadFile(fi.Path)
+			if rerr != nil {
+				return fmt.Errorf("read %s: %w", fi.Path, rerr)
+			}
+			sum := sha256.Sum256(data)
+			h.Write(sum[:])
+			return nil
+		})
+		if werr != nil {
+			if errors.Is(werr, entity.ErrNotExist) {
+				continue
+			}
+			return "", fmt.Errorf("configvalidator: digest %s: %w", e.Name(), werr)
+		}
+	}
+
+	// System state: the installed-package database (sorted by DB.All) and
+	// the sorted runtime-feature names.
+	if db, perr := e.Packages(); perr == nil && db != nil {
+		for _, p := range db.All() {
+			io.WriteString(h, "pkg\x00"+p.Name+"\x00"+p.Version+"\x00"+p.Architecture+"\x00"+p.Status+"\x00")
+		}
+	} else {
+		io.WriteString(h, "pkg-unavailable\x00")
+	}
+	for _, f := range e.Features() {
+		io.WriteString(h, "feat\x00"+f+"\x00")
+	}
+
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// ruleFileFingerprint hashes one rule file's content, memoized — the rule
+// library is immutable for a Validator's lifetime and shared across every
+// entity in a fleet.
+func (v *Validator) ruleFileFingerprint(path string) (string, error) {
+	v.digestMu.Lock()
+	defer v.digestMu.Unlock()
+	if fp, ok := v.ruleFP[path]; ok {
+		return fp, nil
+	}
+	data, err := v.reader(path)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	fp := hex.EncodeToString(sum[:])
+	if v.ruleFP == nil {
+		v.ruleFP = make(map[string]string)
+	}
+	v.ruleFP[path] = fp
+	return fp, nil
+}
+
+// searchPathUnion returns the sorted, deduplicated config search paths of
+// the entries.
+func searchPathUnion(entries []*cvl.ManifestEntry) []string {
+	seen := make(map[string]bool)
+	var roots []string
+	for _, entry := range entries {
+		for _, p := range entry.ConfigSearchPaths {
+			if !seen[p] {
+				seen[p] = true
+				roots = append(roots, p)
+			}
+		}
+	}
+	sort.Strings(roots)
+	return roots
+}

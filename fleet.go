@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"configvalidator/internal/engine"
+	"configvalidator/internal/journal"
 )
 
 // ErrScanTimeout marks a scan abandoned at its per-entity deadline
@@ -20,12 +21,18 @@ var ErrScanTimeout = fmt.Errorf("scan deadline exceeded: %w", context.DeadlineEx
 
 // FleetResult is the outcome of validating one entity of a fleet.
 type FleetResult struct {
+	// Entity is the scanned entity's name.
+	Entity string
 	// Report is the validation report; nil when Err is set.
 	Report *Report
 	// Err records a scan failure for this entity: the final validation
 	// error after retries, ErrScanTimeout for a scan abandoned at its
 	// deadline, or a *PanicError for a scan that panicked.
 	Err error
+	// Resumed reports that the result was replayed from the journal
+	// (FleetOptions.Journal) instead of re-scanned: the entity's config
+	// digest matched a journaled completed record.
+	Resumed bool
 }
 
 // FleetOptions tune ValidateFleet.
@@ -51,6 +58,14 @@ type FleetOptions struct {
 	// entities failing together against one flaky backend does not retry
 	// in lockstep. Backoff waits honor context cancellation.
 	RetryBackoff time.Duration
+	// Journal, when set, makes the run crash-safe and resumable: every
+	// FleetResult is appended to it as it completes, and an entity whose
+	// (name, config digest) matches a journaled completed record is
+	// skipped — its report replayed instead of re-scanned (FleetResult
+	// with Resumed set). A run killed partway is resumed by re-running it
+	// over the same journal; the union of results equals one uninterrupted
+	// run. Open or recover one with OpenJournal.
+	Journal *Journal
 }
 
 const (
@@ -114,10 +129,14 @@ func (v *Validator) ValidateFleet(ctx context.Context, entities <-chan Entity, o
 					if !ok {
 						return
 					}
-					res := v.scanOne(ctx, ent, opts)
+					res := v.scanJournaled(ctx, ent, opts)
 					select {
 					case results <- res:
 					case <-ctx.Done():
+						// The result was computed (and journaled, when a
+						// journal is attached) but the run was cancelled
+						// before it could be delivered.
+						v.telemetry.ScanAbandoned()
 						return
 					}
 				}
@@ -129,6 +148,75 @@ func (v *Validator) ValidateFleet(ctx context.Context, entities <-chan Entity, o
 		close(results)
 	}()
 	return results
+}
+
+// scanJournaled wraps scanOne with the journal's resume/append protocol:
+// an entity whose (name, config digest) matches a journaled completed
+// record replays it instead of re-scanning; every other outcome is
+// appended to the journal as it completes.
+func (v *Validator) scanJournaled(ctx context.Context, ent Entity, opts FleetOptions) FleetResult {
+	if opts.Journal == nil {
+		res := v.scanOne(ctx, ent, opts)
+		res.Entity = ent.Name()
+		return res
+	}
+	digest, derr := v.safeConfigDigest(ctx, ent, opts)
+	if derr == nil {
+		if rec, ok := opts.Journal.Lookup(ent.Name(), digest); ok {
+			v.telemetry.JournalEntitySkipped()
+			return FleetResult{Entity: ent.Name(), Report: rec.Report.Report(), Resumed: true}
+		}
+	}
+	res := v.scanOne(ctx, ent, opts)
+	res.Entity = ent.Name()
+	rec := journal.Record{Entity: ent.Name()}
+	if res.Err != nil {
+		// Failed scans are journaled digest-less: audit-only records that a
+		// resumed run re-scans.
+		rec.Err = res.Err.Error()
+	} else {
+		rec.Report = journal.NewReportRecord(res.Report)
+		// An entity whose digest could not be computed still journals its
+		// report (for merging and drift), but without a digest it can never
+		// satisfy a resume Lookup.
+		if derr == nil {
+			rec.Digest = digest
+		}
+	}
+	// An append failure (disk full) must not fail the scan: the result is
+	// still delivered in-memory; the journal's own stats count the error.
+	_ = opts.Journal.Append(rec)
+	return res
+}
+
+// safeConfigDigest bounds ConfigDigest by the scan deadline — a hung
+// entity must not stall the resume check any more than it may stall a
+// scan. As in scanAttempt, an abandoned digest goroutine is left to finish
+// on its own.
+func (v *Validator) safeConfigDigest(ctx context.Context, ent Entity, opts FleetOptions) (string, error) {
+	if opts.ScanTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.ScanTimeout)
+		defer cancel()
+	}
+	if ctx.Done() == nil {
+		return v.ConfigDigest(ent, opts.Target)
+	}
+	type outcome struct {
+		digest string
+		err    error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		d, err := v.ConfigDigest(ent, opts.Target)
+		done <- outcome{digest: d, err: err}
+	}()
+	select {
+	case out := <-done:
+		return out.digest, out.err
+	case <-ctx.Done():
+		return "", fmt.Errorf("digest %s: %w", ent.Name(), ctx.Err())
+	}
 }
 
 // scanOne validates one entity under the fleet's robustness policy:
@@ -216,12 +304,48 @@ func (v *Validator) safeValidate(ent Entity, target string) (rep *Report, err er
 	return v.Validate(ent)
 }
 
+// Scan-error kinds, the keys of FleetSummary.ErrorsByKind.
+const (
+	// ErrorKindTimeout marks scans abandoned at their deadline.
+	ErrorKindTimeout = "timeout"
+	// ErrorKindPanic marks scans that panicked and were isolated.
+	ErrorKindPanic = "panic"
+	// ErrorKindCancelled marks scans cut short by context cancellation.
+	ErrorKindCancelled = "cancelled"
+	// ErrorKindPermanent marks every other failure — the errors retrying
+	// will not fix.
+	ErrorKindPermanent = "permanent"
+)
+
+// ClassifyScanError maps a FleetResult.Err to its ErrorsByKind key. Panics
+// classify first (a panic during a deadline race is still a panic), then
+// deadline expiry, then cancellation; everything else is permanent.
+func ClassifyScanError(err error) string {
+	var pe *PanicError
+	switch {
+	case errors.As(err, &pe):
+		return ErrorKindPanic
+	case errors.Is(err, ErrScanTimeout) || errors.Is(err, context.DeadlineExceeded):
+		return ErrorKindTimeout
+	case errors.Is(err, context.Canceled):
+		return ErrorKindCancelled
+	default:
+		return ErrorKindPermanent
+	}
+}
+
 // FleetSummary aggregates fleet results.
 type FleetSummary struct {
 	// Scanned is the number of entities validated successfully.
 	Scanned int
+	// Resumed is the subset of Scanned whose report was replayed from the
+	// journal instead of re-scanned.
+	Resumed int
 	// Errors is the number of entities whose scan failed.
 	Errors int
+	// ErrorsByKind breaks Errors down by failure class: timeout, panic,
+	// cancelled, or permanent (see ClassifyScanError).
+	ErrorsByKind map[string]int
 	// ByStatus tallies individual rule results across the fleet.
 	ByStatus map[Status]int
 	// EntitiesWithFindings counts entities with at least one failing check.
@@ -238,13 +362,20 @@ type FleetSummary struct {
 
 // Summarize drains a fleet-result channel into a summary.
 func Summarize(results <-chan FleetResult) FleetSummary {
-	out := FleetSummary{ByStatus: make(map[Status]int, 4)}
+	out := FleetSummary{
+		ByStatus:     make(map[Status]int, 4),
+		ErrorsByKind: make(map[string]int, 4),
+	}
 	for res := range results {
 		if res.Err != nil {
 			out.Errors++
+			out.ErrorsByKind[ClassifyScanError(res.Err)]++
 			continue
 		}
 		out.Scanned++
+		if res.Resumed {
+			out.Resumed++
+		}
 		counts := res.Report.Counts()
 		for status, n := range counts {
 			out.ByStatus[status] += n
@@ -262,11 +393,16 @@ func Summarize(results <-chan FleetResult) FleetSummary {
 	return out
 }
 
-// String renders the summary as a one-line operator digest.
+// String renders the summary as a one-line operator digest. Resumed is
+// deliberately omitted: a resumed run's digest must equal an uninterrupted
+// run's, which is what the kill-and-resume CI smoke compares.
 func (s FleetSummary) String() string {
 	return fmt.Sprintf(
-		"scanned=%d errors=%d entities_with_findings=%d entities_with_errors=%d entities_degraded=%d pass=%d fail=%d n/a=%d rule_errors=%d degraded=%d",
-		s.Scanned, s.Errors, s.EntitiesWithFindings, s.EntitiesWithErrors, s.EntitiesDegraded,
+		"scanned=%d errors=%d err_timeout=%d err_panic=%d err_cancelled=%d err_permanent=%d entities_with_findings=%d entities_with_errors=%d entities_degraded=%d pass=%d fail=%d n/a=%d rule_errors=%d degraded=%d",
+		s.Scanned, s.Errors,
+		s.ErrorsByKind[ErrorKindTimeout], s.ErrorsByKind[ErrorKindPanic],
+		s.ErrorsByKind[ErrorKindCancelled], s.ErrorsByKind[ErrorKindPermanent],
+		s.EntitiesWithFindings, s.EntitiesWithErrors, s.EntitiesDegraded,
 		s.ByStatus[StatusPass], s.ByStatus[StatusFail],
 		s.ByStatus[StatusNotApplicable], s.ByStatus[StatusError], s.ByStatus[StatusDegraded])
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -569,6 +570,194 @@ func TestValidateFleetCancelDuringBackoff(t *testing.T) {
 	}
 	if elapsed > 5*time.Second {
 		t.Fatalf("cancel during backoff took %v, want prompt return", elapsed)
+	}
+}
+
+func TestClassifyScanError(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+		want string
+	}{
+		{"panic", fmt.Errorf("scan x: %w", &PanicError{Value: "boom"}), ErrorKindPanic},
+		{"timeout", fmt.Errorf("scan x: %w", ErrScanTimeout), ErrorKindTimeout},
+		{"deadline", fmt.Errorf("scan x: %w", context.DeadlineExceeded), ErrorKindTimeout},
+		{"cancelled", fmt.Errorf("scan x: %w", context.Canceled), ErrorKindCancelled},
+		{"permanent", errors.New("corrupt layer"), ErrorKindPermanent},
+		{"transient-marked", MarkTransient(errors.New("busy")), ErrorKindPermanent},
+	} {
+		if got := ClassifyScanError(tc.err); got != tc.want {
+			t.Errorf("%s: ClassifyScanError = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestFleetErrorsByKind runs one fleet containing a panicking, a hanging,
+// and a permanently failing entity and pins the per-kind error breakdown —
+// both in the summary struct and in its rendered digest.
+func TestFleetErrorsByKind(t *testing.T) {
+	v, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hang := &hangEntity{Mem: entity.NewMem("wedged", entity.TypeImage), release: make(chan struct{})}
+	defer close(hang.release)
+	results := v.ValidateFleet(context.Background(), sendEntities(
+		&panicEntity{Mem: entity.NewMem("explosive", entity.TypeImage)},
+		hang,
+		&permFailEntity{Mem: entity.NewMem("corrupt", entity.TypeImage)},
+	), FleetOptions{Workers: 3, ScanTimeout: 50 * time.Millisecond})
+	s := Summarize(results)
+	if s.Errors != 3 {
+		t.Fatalf("errors = %d, want 3: %+v", s.Errors, s)
+	}
+	want := map[string]int{ErrorKindPanic: 1, ErrorKindTimeout: 1, ErrorKindPermanent: 1}
+	for kind, n := range want {
+		if s.ErrorsByKind[kind] != n {
+			t.Errorf("ErrorsByKind[%s] = %d, want %d", kind, s.ErrorsByKind[kind], n)
+		}
+	}
+	if s.ErrorsByKind[ErrorKindCancelled] != 0 {
+		t.Errorf("phantom cancelled errors: %+v", s.ErrorsByKind)
+	}
+	text := s.String()
+	for _, frag := range []string{"err_timeout=1", "err_panic=1", "err_cancelled=0", "err_permanent=1"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("summary digest missing %q: %s", frag, text)
+		}
+	}
+}
+
+// TestFleetCancelledErrorKind: a scan cut short by context cancellation
+// classifies as cancelled, not permanent.
+func TestFleetCancelledErrorKind(t *testing.T) {
+	v, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent := &alwaysTransientEntity{Mem: entity.NewMem("busy-host", entity.TypeHost)}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	res := v.scanOne(ctx, ent, FleetOptions{Retries: 3, RetryBackoff: 30 * time.Second})
+	if got := ClassifyScanError(res.Err); got != ErrorKindCancelled {
+		t.Fatalf("ClassifyScanError(%v) = %q, want cancelled", res.Err, got)
+	}
+}
+
+// signalEntity announces when its crawl starts, then blocks until released
+// — the handle a test needs to cancel a run with a result in flight.
+type signalEntity struct {
+	*entity.Mem
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (s *signalEntity) Walk(root string, fn func(entity.FileInfo) error) error {
+	s.once.Do(func() { close(s.started) })
+	<-s.release
+	return s.Mem.Walk(root, fn)
+}
+
+// TestScanAbandonedCounted pins the ScanAbandoned telemetry counter: a
+// result computed after the run's context is cancelled — with no receiver
+// left — is dropped, and the drop is counted so operators can reconcile
+// submitted vs. delivered (or journaled) entity counts.
+func TestScanAbandonedCounted(t *testing.T) {
+	collector := NewCollector()
+	v, err := New(WithTelemetry(collector))
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := &signalEntity{
+		Mem:     entity.NewMem("in-flight", entity.TypeHost),
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	defer close(se.release)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	results := v.ValidateFleet(ctx, sendEntities(se), FleetOptions{Workers: 1})
+	// Wait until the worker is mid-scan, then cancel with no receiver on
+	// the results channel: the worker's delivery select sees only
+	// ctx.Done, so the computed result is deterministically abandoned.
+	// Hold off draining until the drop is counted — receiving earlier
+	// would race the worker's delivery select.
+	<-se.started
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for collector.Snapshot().ScansAbandoned == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := collector.Snapshot().ScansAbandoned; got != 1 {
+		t.Fatalf("ScansAbandoned = %d, want 1", got)
+	}
+	delivered := 0
+	for range results {
+		delivered++
+	}
+	if delivered != 0 {
+		t.Errorf("delivered = %d results after cancellation, want 0", delivered)
+	}
+}
+
+// TestValidateFleetJournalResume is the library-level resume contract: a
+// second run over an unchanged fleet with the same journal replays every
+// report byte-identically, re-scans nothing, and counts each skip.
+func TestValidateFleetJournalResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.cvj")
+	collector := NewCollector()
+	v, err := New(WithTelemetry(collector))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+
+	j1, err := OpenJournal(path, JournalOptions{Metrics: collector})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := make(map[string][]byte, n)
+	for res := range v.ValidateFleet(context.Background(), feedFleet(t, n, 0.5), FleetOptions{Workers: 3, Journal: j1}) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if res.Resumed {
+			t.Errorf("first run resumed %s from an empty journal", res.Entity)
+		}
+		clean[res.Entity] = reportJSON(t, res.Report)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, JournalOptions{Metrics: collector})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	resumed := 0
+	for res := range v.ValidateFleet(context.Background(), feedFleet(t, n, 0.5), FleetOptions{Workers: 3, Journal: j2}) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if !res.Resumed {
+			t.Errorf("%s re-scanned on an unchanged fleet", res.Entity)
+			continue
+		}
+		resumed++
+		if got := reportJSON(t, res.Report); string(got) != string(clean[res.Entity]) {
+			t.Errorf("%s: replayed report not byte-identical\ngot:  %s\nwant: %s", res.Entity, got, clean[res.Entity])
+		}
+	}
+	if resumed != n {
+		t.Errorf("resumed = %d, want %d", resumed, n)
+	}
+	if got := collector.Snapshot().JournalSkippedEntities; got != n {
+		t.Errorf("JournalSkippedEntities = %d, want %d", got, n)
 	}
 }
 

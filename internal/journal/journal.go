@@ -1,0 +1,565 @@
+// Package journal implements a durable, replayable result log for fleet
+// validation — the crash-safety layer that makes the paper's production
+// cadence ("tens of thousands of containers and images daily", §5)
+// operable. A fleet scan appends one record per completed entity; a run
+// killed at entity 49,000 of 50,000 resumes by replaying the journal and
+// re-scanning only what is missing or changed, and a warm re-run over an
+// unchanged fleet is near-free. ConfEx (arXiv:2008.08656) frames
+// cloud-scale config analysis as exactly this continuously re-run pipeline
+// over a largely-unchanged corpus; Rehearsal (arXiv:1509.05100) argues
+// idempotence is what makes config tooling trustworthy — replaying a
+// journaled result must be indistinguishable from re-scanning an unchanged
+// entity.
+//
+// # File format
+//
+// A journal is an 8-byte magic ("CVJRNL01") followed by records:
+//
+//	[uint32 LE payload length][uint32 LE CRC-32 (IEEE) of payload][payload]
+//
+// The payload is a JSON-encoded Record. The format is append-only; nothing
+// in the file is ever updated in place, so the only corruption a crash can
+// cause is a torn tail — which recovery truncates, never fails on.
+//
+// # Recovery
+//
+// Open replays the file record by record and stops at the first record
+// that cannot be trusted: a short header, an implausible length, a torn
+// payload, a CRC mismatch, or undecodable JSON. Everything after that
+// point is discarded (the file is truncated back to the last valid record)
+// and counted as corrupt; everything before it is replayed into the
+// resume index. A mid-file bit flip therefore loses the records after it —
+// they are simply re-scanned — but never aborts a run.
+//
+// # Compaction
+//
+// Compact rewrites the journal as a snapshot holding only the latest
+// completed record per entity, via temp file + rename + directory fsync
+// (never in place), then continues appending to the compacted file — so a
+// long-lived journal is a snapshot plus a tail of recent appends.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"configvalidator/internal/cvl"
+	"configvalidator/internal/engine"
+	"configvalidator/internal/fsutil"
+)
+
+// magic identifies (and versions) the on-disk format.
+const magic = "CVJRNL01"
+
+// maxRecordSize bounds a single record payload (64 MiB). A length field
+// beyond it is treated as corruption, not as an allocation request.
+const maxRecordSize = 64 << 20
+
+// ErrNotJournal reports a file whose header is present but is not a
+// journal — recovery refuses to truncate what it does not own.
+var ErrNotJournal = errors.New("journal: file is not a configvalidator journal")
+
+// ErrClosed reports an operation on a closed journal.
+var ErrClosed = errors.New("journal: closed")
+
+// Metrics receives journal events; *telemetry.Collector implements it. The
+// interface lives here so the journal does not import telemetry.
+type Metrics interface {
+	// JournalAppended records one record durably appended.
+	JournalAppended()
+	// JournalReplayed records one valid record recovered at Open.
+	JournalReplayed()
+	// JournalCorruptRecord records one torn or corrupt record dropped
+	// during recovery.
+	JournalCorruptRecord()
+}
+
+// Options tune a journal.
+type Options struct {
+	// SyncEvery is the number of appends between fsyncs. 0 (the default)
+	// and 1 sync after every record — an interrupted run loses at most the
+	// in-flight record, at the cost of one fsync per entity. N > 1
+	// amortizes the fsync over N records and risks losing up to N-1
+	// journaled results on a power failure (a process crash loses nothing:
+	// the OS page cache survives it). -1 never syncs explicitly.
+	SyncEvery int
+	// Metrics optionally receives append/replay/corruption events.
+	Metrics Metrics
+}
+
+// Record is one journaled per-entity outcome. Exactly one of Report and
+// Err is set.
+type Record struct {
+	// Entity is the scanned entity's name.
+	Entity string `json:"entity"`
+	// Digest is the entity's config digest at scan time; records with an
+	// empty digest are audit-only and never satisfy a Lookup.
+	Digest string `json:"digest,omitempty"`
+	// Err is the scan failure, when the scan did not complete. Failed
+	// scans are journaled for reconciliation but never replayed — a
+	// resumed run re-scans them.
+	Err string `json:"err,omitempty"`
+	// Report is the completed validation report.
+	Report *ReportRecord `json:"report,omitempty"`
+}
+
+// Stats is a point-in-time copy of a journal's counters.
+type Stats struct {
+	// Appends counts records durably appended through this handle;
+	// AppendErrors counts appends that failed (disk full, closed file).
+	Appends, AppendErrors int64
+	// Replayed counts valid records recovered at Open; CorruptRecords
+	// counts torn/corrupt records dropped during recovery.
+	Replayed, CorruptRecords int64
+	// Entities is the number of entities with a live completed record.
+	Entities int
+}
+
+// Journal is an append-only, CRC-checksummed record log. Safe for
+// concurrent use by any number of fleet workers.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	opts Options
+
+	// index maps entity name to its latest completed record — duplicate
+	// records for one entity resolve last-writer-wins.
+	index    map[string]Record
+	latest   *Record // most recent completed record (replay, then appends)
+	replayed []Record
+
+	appends, appendErrs, replayedN, corrupt int64
+	sinceSync                               int
+	closed                                  bool
+}
+
+// Open creates or recovers the journal at path. Recovery replays every
+// valid record into the resume index and truncates any torn or corrupt
+// tail; it never fails on corruption, only on I/O errors or on a file
+// that is not a journal at all.
+func Open(path string, opts Options) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	j := &Journal{f: f, path: path, opts: opts, index: make(map[string]Record)}
+	if err := j.recover(); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// recover replays the file, truncating at the first untrusted byte.
+func (j *Journal) recover() error {
+	fi, err := j.f.Stat()
+	if err != nil {
+		return fmt.Errorf("journal: stat %s: %w", j.path, err)
+	}
+	size := fi.Size()
+	if size == 0 {
+		if _, err := j.f.Write([]byte(magic)); err != nil {
+			return fmt.Errorf("journal: write header %s: %w", j.path, err)
+		}
+		return j.syncNow()
+	}
+	header := make([]byte, len(magic))
+	n, err := io.ReadFull(j.f, header)
+	switch {
+	case err == io.ErrUnexpectedEOF || err == io.EOF || n < len(magic):
+		// Crash during initial creation: the header itself is torn.
+		j.noteCorrupt()
+		return j.truncateTo(0, true)
+	case err != nil:
+		return fmt.Errorf("journal: read header %s: %w", j.path, err)
+	case string(header) != magic:
+		return fmt.Errorf("%w: %s", ErrNotJournal, j.path)
+	}
+
+	offset := int64(len(magic))
+	head := make([]byte, 8)
+	for offset < size {
+		if _, err := io.ReadFull(j.f, head); err != nil {
+			j.noteCorrupt() // torn record header
+			return j.truncateTo(offset, false)
+		}
+		length := binary.LittleEndian.Uint32(head[0:4])
+		sum := binary.LittleEndian.Uint32(head[4:8])
+		if length == 0 || length > maxRecordSize || offset+8+int64(length) > size {
+			j.noteCorrupt() // implausible length or torn payload
+			return j.truncateTo(offset, false)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(j.f, payload); err != nil {
+			j.noteCorrupt()
+			return j.truncateTo(offset, false)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			j.noteCorrupt() // bit flip: drop this record and everything after
+			return j.truncateTo(offset, false)
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			j.noteCorrupt()
+			return j.truncateTo(offset, false)
+		}
+		j.absorb(rec)
+		j.replayed = append(j.replayed, rec)
+		j.replayedN++
+		if j.opts.Metrics != nil {
+			j.opts.Metrics.JournalReplayed()
+		}
+		offset += 8 + int64(length)
+	}
+	return nil
+}
+
+// truncateTo discards everything at and after offset — the recovery path
+// for a torn or corrupt tail. With rewriteMagic set the header itself was
+// torn and is rewritten.
+func (j *Journal) truncateTo(offset int64, rewriteMagic bool) error {
+	if err := j.f.Truncate(offset); err != nil {
+		return fmt.Errorf("journal: truncate %s: %w", j.path, err)
+	}
+	if _, err := j.f.Seek(offset, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: seek %s: %w", j.path, err)
+	}
+	if rewriteMagic {
+		if _, err := j.f.Write([]byte(magic)); err != nil {
+			return fmt.Errorf("journal: write header %s: %w", j.path, err)
+		}
+	}
+	return j.syncNow()
+}
+
+func (j *Journal) noteCorrupt() {
+	j.corrupt++
+	if j.opts.Metrics != nil {
+		j.opts.Metrics.JournalCorruptRecord()
+	}
+}
+
+// absorb folds one valid record into the resume index (last-writer-wins).
+// Failed-scan records are audit-only and not indexed.
+func (j *Journal) absorb(rec Record) {
+	if rec.Report == nil {
+		return
+	}
+	j.index[rec.Entity] = rec
+	cp := rec
+	j.latest = &cp
+}
+
+// Append durably logs one record. Concurrent appends are serialized; each
+// record is written in a single Write call, so a crash tears at most the
+// final record — which recovery truncates.
+func (j *Journal) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encode record: %w", err)
+	}
+	if len(payload) > maxRecordSize {
+		return fmt.Errorf("journal: record for %s exceeds %d bytes", rec.Entity, maxRecordSize)
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		j.appendErrs++
+		return ErrClosed
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		j.appendErrs++
+		return fmt.Errorf("journal: append %s: %w", j.path, err)
+	}
+	j.appends++
+	j.absorb(rec)
+	if j.opts.Metrics != nil {
+		j.opts.Metrics.JournalAppended()
+	}
+	j.sinceSync++
+	every := j.opts.SyncEvery
+	if every == 0 {
+		every = 1
+	}
+	if every > 0 && j.sinceSync >= every {
+		return j.syncNow()
+	}
+	return nil
+}
+
+func (j *Journal) syncNow() error {
+	j.sinceSync = 0
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// Lookup returns the latest completed record for the entity when its
+// journaled digest matches — the resume test ValidateFleet applies before
+// re-scanning. An empty digest never matches.
+func (j *Journal) Lookup(entity, digest string) (Record, bool) {
+	if j == nil || digest == "" {
+		return Record{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.index[entity]
+	if !ok || rec.Digest != digest {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Latest returns the most recent completed record — replayed or appended —
+// which is the durable drift baseline cvwatch restores on restart.
+func (j *Journal) Latest() (Record, bool) {
+	if j == nil {
+		return Record{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.latest == nil {
+		return Record{}, false
+	}
+	return *j.latest, true
+}
+
+// Replayed returns the records recovered at Open, in file order.
+func (j *Journal) Replayed() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Record, len(j.replayed))
+	copy(out, j.replayed)
+	return out
+}
+
+// Stats copies the current counters.
+func (j *Journal) Stats() Stats {
+	if j == nil {
+		return Stats{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{
+		Appends:        j.appends,
+		AppendErrors:   j.appendErrs,
+		Replayed:       j.replayedN,
+		CorruptRecords: j.corrupt,
+		Entities:       len(j.index),
+	}
+}
+
+// Compact atomically rewrites the journal as a snapshot holding only the
+// latest completed record per entity (sorted by entity name), dropping
+// superseded duplicates and audit-only failure records. The rewrite goes
+// through a temp file + rename + directory fsync, so a crash mid-compaction
+// leaves the previous journal fully intact.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	names := make([]string, 0, len(j.index))
+	for name := range j.index {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	err := fsutil.WriteAtomic(j.path, 0o644, func(w io.Writer) error {
+		if _, err := w.Write([]byte(magic)); err != nil {
+			return err
+		}
+		head := make([]byte, 8)
+		for _, name := range names {
+			payload, err := json.Marshal(j.index[name])
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint32(head[0:4], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(head[4:8], crc32.ChecksumIEEE(payload))
+			if _, err := w.Write(head); err != nil {
+				return err
+			}
+			if _, err := w.Write(payload); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	// Swap the handle to the compacted file and position at its end for
+	// subsequent appends (the snapshot's tail).
+	f, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: reopen after compact: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("journal: seek after compact: %w", err)
+	}
+	_ = j.f.Close()
+	j.f = f
+	j.sinceSync = 0
+	return nil
+}
+
+// Sync forces an fsync regardless of the sync policy.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	return j.syncNow()
+}
+
+// Close syncs and closes the journal. Further appends fail with ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	serr := j.f.Sync()
+	cerr := j.f.Close()
+	if serr != nil {
+		return fmt.Errorf("journal: sync on close %s: %w", j.path, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("journal: close %s: %w", j.path, cerr)
+	}
+	return nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Remove deletes a journal file (after Close); missing files are fine.
+func Remove(path string) error {
+	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return fsutil.SyncDir(filepath.Dir(path))
+}
+
+// ReportRecord is the journal's serialized form of an engine.Report. It
+// carries every field the output renderers (text, JSON, JUnit, drift) read,
+// so a replayed report renders byte-identically to the report produced by
+// re-scanning the unchanged entity.
+type ReportRecord struct {
+	Entity  string         `json:"entity"`
+	Type    string         `json:"type"`
+	Results []ResultRecord `json:"results"`
+}
+
+// ResultRecord is one serialized rule outcome.
+type ResultRecord struct {
+	Entity         string      `json:"entity,omitempty"`
+	ManifestEntity string      `json:"manifest_entity,omitempty"`
+	Status         int         `json:"status"`
+	Message        string      `json:"message,omitempty"`
+	Detail         string      `json:"detail,omitempty"`
+	File           string      `json:"file,omitempty"`
+	Rule           *RuleRecord `json:"rule,omitempty"`
+}
+
+// RuleRecord preserves the rule fields reports render; the full rule
+// specification is not journaled (it lives in the rule library, whose
+// fingerprint participates in the config digest).
+type RuleRecord struct {
+	Name            string   `json:"name"`
+	Type            string   `json:"type,omitempty"`
+	Tags            []string `json:"tags,omitempty"`
+	Severity        string   `json:"severity,omitempty"`
+	SuggestedAction string   `json:"suggested_action,omitempty"`
+}
+
+// NewReportRecord converts an engine report into its journaled form.
+func NewReportRecord(rep *engine.Report) *ReportRecord {
+	if rep == nil {
+		return nil
+	}
+	out := &ReportRecord{
+		Entity:  rep.EntityName,
+		Type:    rep.EntityType,
+		Results: make([]ResultRecord, 0, len(rep.Results)),
+	}
+	for _, r := range rep.Results {
+		rr := ResultRecord{
+			Entity:         r.EntityName,
+			ManifestEntity: r.ManifestEntity,
+			Status:         int(r.Status),
+			Message:        r.Message,
+			Detail:         r.Detail,
+			File:           r.File,
+		}
+		if r.Rule != nil {
+			rr.Rule = &RuleRecord{
+				Name:            r.Rule.Name,
+				Type:            r.Rule.Type.String(),
+				Tags:            r.Rule.Tags,
+				Severity:        r.Rule.Severity,
+				SuggestedAction: r.Rule.SuggestedAction,
+			}
+		}
+		out.Results = append(out.Results, rr)
+	}
+	return out
+}
+
+// Report reconstructs the engine report. Rules are rebuilt with the
+// renderer-visible fields only; Report.ByTag, drift diffing, and all four
+// output formats behave identically to the original.
+func (rr *ReportRecord) Report() *engine.Report {
+	if rr == nil {
+		return nil
+	}
+	rep := &engine.Report{
+		EntityName: rr.Entity,
+		EntityType: rr.Type,
+		Results:    make([]*engine.Result, 0, len(rr.Results)),
+	}
+	for _, r := range rr.Results {
+		res := &engine.Result{
+			EntityName:     r.Entity,
+			ManifestEntity: r.ManifestEntity,
+			Status:         engine.Status(r.Status),
+			Message:        r.Message,
+			Detail:         r.Detail,
+			File:           r.File,
+		}
+		if r.Rule != nil {
+			rule := &cvl.Rule{
+				Name:            r.Rule.Name,
+				Tags:            r.Rule.Tags,
+				Severity:        r.Rule.Severity,
+				SuggestedAction: r.Rule.SuggestedAction,
+			}
+			if t, err := cvl.ParseRuleType(r.Rule.Type); err == nil {
+				rule.Type = t
+			}
+			res.Rule = rule
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}

@@ -141,6 +141,17 @@ type Collector struct {
 	parseCacheMisses    atomic.Int64
 	parseCacheEvictions atomic.Int64
 
+	// Journal counters: records appended to the durable result journal,
+	// records replayed at recovery, corrupt records dropped at recovery,
+	// and entities skipped because a journaled result matched their config
+	// digest. ScanAbandoned counts computed fleet results dropped because
+	// the run's context was cancelled before they could be delivered.
+	journalAppends  atomic.Int64
+	journalReplayed atomic.Int64
+	journalCorrupt  atomic.Int64
+	journalSkipped  atomic.Int64
+	scanAbandoned   atomic.Int64
+
 	// Result counters by engine status. StatusPass..StatusDegraded are
 	// 1-based and contiguous; index 0 is unused.
 	statuses [6]atomic.Int64
@@ -299,6 +310,52 @@ func (c *Collector) ParseCacheEviction() {
 	c.parseCacheEvictions.Add(1)
 }
 
+// JournalAppended records one record durably appended to the result
+// journal. The three Journal* methods implement journal.Metrics, so a
+// Collector can be attached directly to a journal.
+func (c *Collector) JournalAppended() {
+	if c == nil {
+		return
+	}
+	c.journalAppends.Add(1)
+}
+
+// JournalReplayed records one valid journal record recovered at open.
+func (c *Collector) JournalReplayed() {
+	if c == nil {
+		return
+	}
+	c.journalReplayed.Add(1)
+}
+
+// JournalCorruptRecord records one torn or corrupt journal record dropped
+// during recovery.
+func (c *Collector) JournalCorruptRecord() {
+	if c == nil {
+		return
+	}
+	c.journalCorrupt.Add(1)
+}
+
+// JournalEntitySkipped records one fleet entity skipped because its
+// journaled result's config digest still matched — the resume fast path.
+func (c *Collector) JournalEntitySkipped() {
+	if c == nil {
+		return
+	}
+	c.journalSkipped.Add(1)
+}
+
+// ScanAbandoned records one computed fleet result dropped because the
+// run's context was cancelled before the result could be delivered —
+// operators reconcile submitted vs. journaled entity counts with it.
+func (c *Collector) ScanAbandoned() {
+	if c == nil {
+		return
+	}
+	c.scanAbandoned.Add(1)
+}
+
 // RequestDone records one HTTP request against a route pattern.
 func (c *Collector) RequestDone(route string, code int, d time.Duration) {
 	if c == nil {
@@ -328,6 +385,14 @@ type Snapshot struct {
 	// parse cache: hits are files whose normalized form was reused,
 	// misses had to parse, evictions were dropped at capacity.
 	ParseCacheHits, ParseCacheMisses, ParseCacheEvictions int64
+	// JournalAppends/Replayed/CorruptRecords/SkippedEntities describe the
+	// durable result journal: records appended, records replayed at
+	// recovery, corrupt records dropped at recovery, and entities skipped
+	// on resume because their journaled digest still matched.
+	// ScansAbandoned counts computed fleet results dropped at context
+	// cancellation before delivery.
+	JournalAppends, JournalReplayed, JournalCorruptRecords, JournalSkippedEntities int64
+	ScansAbandoned                                                                 int64
 	// ResultsByStatus tallies individual rule results across all scans.
 	ResultsByStatus map[engine.Status]int64
 	// ScanLatency is the scan-duration histogram.
@@ -342,23 +407,28 @@ type Snapshot struct {
 // Snapshot copies the current counter values.
 func (c *Collector) Snapshot() Snapshot {
 	s := Snapshot{
-		Scans:               c.scans.Load(),
-		Errors:              c.errors.Load(),
-		Retries:             c.retries.Load(),
-		Panics:              c.panics.Load(),
-		Timeouts:            c.timeouts.Load(),
-		InFlightScans:       c.inflight.Load(),
-		QueueDepth:          c.queueDepth.Load(),
-		Shed:                c.shed.Load(),
-		BreakerOpens:        c.breakerOpens.Load(),
-		BreakerOpen:         c.breakerOpen.Load() != 0,
-		ParseCacheHits:      c.parseCacheHits.Load(),
-		ParseCacheMisses:    c.parseCacheMisses.Load(),
-		ParseCacheEvictions: c.parseCacheEvictions.Load(),
-		ResultsByStatus:     make(map[engine.Status]int64, 5),
-		ScanLatency:         c.scanLatency.snapshot(),
-		HTTPRequests:        make(map[string]int64),
-		HTTPLatency:         c.httpLatency.snapshot(),
+		Scans:                  c.scans.Load(),
+		Errors:                 c.errors.Load(),
+		Retries:                c.retries.Load(),
+		Panics:                 c.panics.Load(),
+		Timeouts:               c.timeouts.Load(),
+		InFlightScans:          c.inflight.Load(),
+		QueueDepth:             c.queueDepth.Load(),
+		Shed:                   c.shed.Load(),
+		BreakerOpens:           c.breakerOpens.Load(),
+		BreakerOpen:            c.breakerOpen.Load() != 0,
+		ParseCacheHits:         c.parseCacheHits.Load(),
+		ParseCacheMisses:       c.parseCacheMisses.Load(),
+		ParseCacheEvictions:    c.parseCacheEvictions.Load(),
+		JournalAppends:         c.journalAppends.Load(),
+		JournalReplayed:        c.journalReplayed.Load(),
+		JournalCorruptRecords:  c.journalCorrupt.Load(),
+		JournalSkippedEntities: c.journalSkipped.Load(),
+		ScansAbandoned:         c.scanAbandoned.Load(),
+		ResultsByStatus:        make(map[engine.Status]int64, 5),
+		ScanLatency:            c.scanLatency.snapshot(),
+		HTTPRequests:           make(map[string]int64),
+		HTTPLatency:            c.httpLatency.snapshot(),
 	}
 	for _, status := range []engine.Status{engine.StatusPass, engine.StatusFail, engine.StatusNotApplicable, engine.StatusError, engine.StatusDegraded} {
 		if n := c.statuses[status].Load(); n != 0 {
@@ -402,6 +472,11 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 	counter("configvalidator_parse_cache_hits_total", "Parse-cache lookups served from cache.", s.ParseCacheHits)
 	counter("configvalidator_parse_cache_misses_total", "Parse-cache lookups that had to parse.", s.ParseCacheMisses)
 	counter("configvalidator_parse_cache_evictions_total", "Parse-cache entries dropped at capacity.", s.ParseCacheEvictions)
+	counter("configvalidator_journal_appends_total", "Records appended to the durable result journal.", s.JournalAppends)
+	counter("configvalidator_journal_replayed_total", "Journal records replayed at recovery.", s.JournalReplayed)
+	counter("configvalidator_journal_corrupt_records_total", "Corrupt journal records dropped at recovery.", s.JournalCorruptRecords)
+	counter("configvalidator_journal_skipped_entities_total", "Fleet entities skipped on resume (journaled digest matched).", s.JournalSkippedEntities)
+	counter("configvalidator_scans_abandoned_total", "Computed fleet results dropped at context cancellation.", s.ScansAbandoned)
 
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)

@@ -20,6 +20,10 @@ fi
 go vet ./...
 go test -race ./...
 
+# Kill-and-resume smoke: crash a journaled fleet scan partway, resume,
+# and require the summary to match an uninterrupted run's.
+./scripts/resume_smoke.sh
+
 # Fuzz smoke over the untrusted-input parsers; go test accepts one -fuzz
 # target per invocation, so each runs separately.
 fuzztime="${FUZZTIME:-10s}"

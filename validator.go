@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"configvalidator/internal/crawler"
@@ -27,6 +28,7 @@ import (
 	"configvalidator/internal/engine"
 	"configvalidator/internal/entity"
 	"configvalidator/internal/faults"
+	"configvalidator/internal/journal"
 	"configvalidator/internal/lens"
 	"configvalidator/internal/output"
 	"configvalidator/internal/remediate"
@@ -68,7 +70,38 @@ type (
 	ParseCache = crawler.ParseCache
 	// ParseCacheStats is a point-in-time copy of a ParseCache's counters.
 	ParseCacheStats = crawler.ParseCacheStats
+	// Journal is the durable, replayable per-entity result log that makes
+	// fleet scans crash-safe and resumable; see FleetOptions.Journal and
+	// the journal package.
+	Journal = journal.Journal
+	// JournalOptions tune a journal (fsync policy, metrics sink).
+	JournalOptions = journal.Options
+	// JournalRecord is one journaled per-entity outcome.
+	JournalRecord = journal.Record
+	// JournalReport is the journaled form of a Report; JournalReport.Report
+	// reconstructs a Report that renders byte-identically.
+	JournalReport = journal.ReportRecord
+	// JournalStats is a point-in-time copy of a journal's counters.
+	JournalStats = journal.Stats
 )
+
+// ErrNotJournal reports an OpenJournal path holding a file that is not a
+// configvalidator journal — recovery refuses to truncate what it does not
+// own.
+var ErrNotJournal = journal.ErrNotJournal
+
+// OpenJournal creates or recovers the durable result journal at path.
+// Recovery replays every valid record and truncates any torn or corrupt
+// tail; it never fails on corruption, only on I/O errors or on a file that
+// is not a journal (ErrNotJournal). Pass the collector from WithTelemetry
+// as JournalOptions.Metrics to surface the journal counters.
+func OpenJournal(path string, opts JournalOptions) (*Journal, error) {
+	return journal.Open(path, opts)
+}
+
+// NewJournalReport converts a report into its journaled form — what
+// cvwatch appends to persist its drift baseline across restarts.
+func NewJournalReport(rep *Report) *JournalReport { return journal.NewReportRecord(rep) }
 
 // Status values, re-exported.
 const (
@@ -103,6 +136,11 @@ type Validator struct {
 	telemetry *telemetry.Collector
 	faults    *faults.Injector
 	cache     *crawler.ParseCache
+
+	// digestMu guards ruleFP, the memoized per-rule-file content hashes
+	// ConfigDigest folds into every entity digest.
+	digestMu sync.Mutex
+	ruleFP   map[string]string
 }
 
 // Option customizes a Validator.
