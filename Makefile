@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race lint fuzz resume-smoke ci bench bench-check
+.PHONY: build test vet race lint analyze fuzz resume-smoke ci bench bench-check
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,17 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
 
+# Semantic rule analysis: cvlint with the constraint-level CVL4xx checks
+# over the embedded rule library and the examples/rules project, with no
+# baseline suppressions. Any CVL4xx finding — warning or error — fails.
+analyze:
+	@out=/tmp/analyze-out.txt; : > $$out; \
+	$(GO) run ./cmd/cvlint -builtin >> $$out || { cat $$out; exit 1; }; \
+	$(GO) run ./cmd/cvlint ./examples/rules >> $$out || { cat $$out; exit 1; }; \
+	if grep -E 'CVL4[0-9][0-9]' $$out; then \
+		echo "make analyze: semantic findings above"; exit 1; fi; \
+	cat $$out
+
 # Fuzz smoke: a short randomized pass over the parsers that face
 # untrusted input (one -fuzz target per invocation, as go test requires).
 fuzz:
@@ -34,17 +45,19 @@ resume-smoke:
 	./scripts/resume_smoke.sh
 
 # The full gate: what CI runs on every change.
-ci: build lint race resume-smoke fuzz
+ci: build lint analyze race resume-smoke fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Benchmark regression gate: re-run the gated benchmarks and diff against
 # the committed baseline. Fails on a >15% ns/op regression of
-# BenchmarkTable2_ConfigValidator or any BenchmarkFleetScan*, or when a
+# BenchmarkTable2_ConfigValidator, any BenchmarkFleetScan*, or the
+# semantic-analysis benchmarks (BenchmarkSemanticLower/Check), or when a
 # warm fleet scan is less than 2x faster than its cold counterpart.
 BENCH_BASELINE ?= BENCH_parallel.json
 bench-check:
 	$(GO) test -run '^$$' -bench 'BenchmarkTable2_ConfigValidator$$|BenchmarkFleetScan' -benchtime 3s . > /tmp/bench-check.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSemanticLower$$|BenchmarkSemanticCheck$$' -benchtime 3s ./internal/analysis/sem >> /tmp/bench-check.txt
 	$(GO) run ./cmd/benchreport -snapshot /tmp/bench-check.txt > /tmp/bench-check.json
 	$(GO) run ./cmd/benchreport -diff $(BENCH_BASELINE) /tmp/bench-check.json

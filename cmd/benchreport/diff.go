@@ -8,9 +8,10 @@ package main
 //	                                               exit non-zero on regression
 //
 // The diff guards the performance-sensitive benchmarks:
-//   - BenchmarkTable2_ConfigValidator (exact name) and every
-//     BenchmarkFleetScan* benchmark may not regress more than 15% ns/op
-//     against the baseline;
+//   - BenchmarkTable2_ConfigValidator (exact name), every
+//     BenchmarkFleetScan* benchmark, and every BenchmarkSemantic*
+//     benchmark (semantic rule analysis: lowering + checking) may not
+//     regress more than 15% ns/op against the baseline;
 //   - every BenchmarkFleetScanWarm<N> in the new run must be at least 2x
 //     faster than its cold counterpart BenchmarkFleetScan<N> — the
 //     parse-cache + verdict-memo speedup contract.
@@ -122,7 +123,8 @@ func readBenchFile(path string) (map[string]benchResult, error) {
 // gated reports whether a benchmark name is held to the regression limit.
 func gated(name string) bool {
 	return name == "BenchmarkTable2_ConfigValidator" ||
-		strings.HasPrefix(name, "BenchmarkFleetScan")
+		strings.HasPrefix(name, "BenchmarkFleetScan") ||
+		strings.HasPrefix(name, "BenchmarkSemantic")
 }
 
 // diffBenchResults compares a new run against the baseline and writes a

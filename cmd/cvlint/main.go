@@ -11,6 +11,8 @@
 //	cvlint -format sarif ./rules    # SARIF 2.1.0 for code-scanning UIs
 //	cvlint -write-baseline lint.json ./rules   # accept current findings
 //	cvlint -baseline lint.json ./rules         # gate only on new findings
+//	cvlint -no-semantic ./rules     # skip constraint-level CVL4xx analysis
+//	cvlint -explain CVL401          # document a diagnostic code
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"configvalidator/internal/analysis"
 	"configvalidator/internal/fsutil"
@@ -56,8 +59,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "text", "output format: text, json, or sarif")
 	baselinePath := fs.String("baseline", "", "suppress findings listed in this baseline `file`")
 	writeBaseline := fs.String("write-baseline", "", "write current findings to a baseline `file` and exit 0")
+	semantic := fs.Bool("semantic", true, "run constraint-level semantic analysis (CVL4xx)")
+	noSemantic := fs.Bool("no-semantic", false, "skip constraint-level semantic analysis (same as -semantic=false)")
+	explain := fs.String("explain", "", "print the catalog entry and a minimal example for a diagnostic `code`, then exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *explain != "" {
+		return runExplain(*explain, stdout, stderr)
 	}
 	switch *format {
 	case "text", "json", "sarif":
@@ -101,7 +110,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	result := analysis.Analyze(project, analysis.Options{ExternalParents: fileMode})
+	result := analysis.Analyze(project, analysis.Options{
+		ExternalParents: fileMode,
+		NoSemantic:      *noSemantic || !*semantic,
+	})
 
 	if *writeBaseline != "" {
 		// Atomic replace: an interrupted rewrite must not corrupt the
@@ -156,6 +168,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// runExplain documents one diagnostic code: catalog summary, default
+// severity, and a minimal triggering example. Unknown codes exit 2.
+func runExplain(code string, stdout, stderr io.Writer) int {
+	for _, c := range analysis.Catalog() {
+		if c.Code != code {
+			continue
+		}
+		fmt.Fprintf(stdout, "%s (%s): %s\n", c.Code, c.Severity, c.Summary)
+		if ex := analysis.Example(c.Code); ex != "" {
+			fmt.Fprintf(stdout, "\nMinimal example:\n\n%s", indent(ex))
+		}
+		return 0
+	}
+	fmt.Fprintf(stderr, "cvlint: unknown diagnostic code %q (see cvlint -explain with a code from docs/LINTING.md)\n", code)
+	return 2
+}
+
+func indent(s string) string {
+	var b strings.Builder
+	for _, line := range strings.SplitAfter(s, "\n") {
+		if line != "" {
+			b.WriteString("  ")
+			b.WriteString(line)
+		}
+	}
+	return b.String()
 }
 
 // addBuiltin loads the embedded rule library, manifest included, in

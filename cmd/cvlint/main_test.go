@@ -67,8 +67,57 @@ func TestLintWarningsDoNotFail(t *testing.T) {
 	if code != 0 {
 		t.Errorf("quiet exit = %d", code)
 	}
-	if strings.Contains(out, "CVL4") {
+	if strings.Contains(out, "CVL5") {
 		t.Errorf("quiet mode printed warnings: %q", out)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	code, out, _ := runCapture(t, "-explain", "CVL401")
+	if code != 0 {
+		t.Fatalf("explain exit = %d", code)
+	}
+	for _, want := range []string{"CVL401", "error", "Minimal example:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	// Every catalog code must be explainable, style codes included.
+	if code, out, _ := runCapture(t, "-explain", "CVL501"); code != 0 || !strings.Contains(out, "CVL501") {
+		t.Errorf("explain CVL501: exit=%d output=%q", code, out)
+	}
+	code, _, stderr := runCapture(t, "-explain", "CVL999")
+	if code != 2 || !strings.Contains(stderr, "CVL999") {
+		t.Errorf("unknown code: exit=%d stderr=%q", code, stderr)
+	}
+}
+
+const unsatRule = `config_name: Protocol
+config_description: "ok"
+config_path: [""]
+preferred_value: ["2"]
+preferred_value_match: exact,any
+non_preferred_value: ["2"]
+non_preferred_value_match: exact,any
+matched_description: "ok"
+not_matched_preferred_value_description: "bad"
+not_present_description: "missing"
+tags: ["#cis"]
+`
+
+func TestNoSemanticFlag(t *testing.T) {
+	path := writeTemp(t, "unsat.yaml", unsatRule)
+	// Semantic analysis is on by default: the self-contradictory rule is
+	// unsatisfiable (CVL401) on top of the style-level CVL205.
+	code, out, _ := runCapture(t, path)
+	if code != 1 || !strings.Contains(out, "CVL401") {
+		t.Errorf("default run: exit=%d output=%q", code, out)
+	}
+	for _, flag := range []string{"-no-semantic", "-semantic=false"} {
+		_, out, _ := runCapture(t, flag, path)
+		if strings.Contains(out, "CVL401") {
+			t.Errorf("%s still reported CVL401: %q", flag, out)
+		}
 	}
 }
 

@@ -59,6 +59,22 @@ type Diagnostic struct {
 	Rule string
 	// Msg describes the finding.
 	Msg string
+	// Related points at other locations involved in the finding — the
+	// replaced parent rule, the subsuming sibling, folded composite
+	// members. Rendered as secondary locations in text, JSON, and SARIF.
+	Related []RelatedPos
+}
+
+// RelatedPos is a secondary location attached to a diagnostic.
+type RelatedPos struct {
+	// File, Line, Col locate the related rule.
+	File string
+	Line int
+	Col  int
+	// Rule is the related rule's name.
+	Rule string
+	// Msg says how the location relates to the finding.
+	Msg string
 }
 
 // String renders "file:line:col: severity CODE: [rule "x": ] msg".
@@ -183,6 +199,11 @@ type Options struct {
 	// project (for example the single-file POST /v1/lint endpoint), where
 	// the parent legitimately cannot be present.
 	ExternalParents bool
+	// NoSemantic skips the constraint-level semantic pass (the CVL4xx
+	// family produced by internal/analysis/sem). On by default because
+	// semantic findings — unsatisfiable rules, dead overrides — are
+	// exactly the silent misconfigurations the analyzer exists to catch.
+	NoSemantic bool
 }
 
 // Result is the outcome of one analysis run.
@@ -224,6 +245,8 @@ func Analyze(p *Project, opts Options) *Result {
 	a.resolveInheritance()
 	a.checkRules()
 	a.checkComposites()
+	a.checkReplacedRules()
+	a.checkSemantics()
 	a.checkReachability()
 	sort.SliceStable(a.diags, func(i, j int) bool {
 		x, y := a.diags[i], a.diags[j]
@@ -248,13 +271,20 @@ func Analyze(p *Project, opts Options) *Result {
 // equivalent of cvl.Lint, used by the lint HTTP endpoint. Parents outside
 // the file are reported as warnings, not errors.
 func AnalyzeFile(path string, content []byte) *Result {
+	return AnalyzeFileOpts(path, content, Options{})
+}
+
+// AnalyzeFileOpts is AnalyzeFile with analysis options; ExternalParents
+// is always forced on since a lone file cannot carry its parents.
+func AnalyzeFileOpts(path string, content []byte, opts Options) *Result {
 	p := NewProject()
 	if IsManifestPath(path) {
 		p.AddManifest(path, content)
 	} else {
 		p.AddRuleFile(path, content)
 	}
-	return Analyze(p, Options{ExternalParents: true})
+	opts.ExternalParents = true
+	return Analyze(p, opts)
 }
 
 func posOr(p yaml.Pos) (int, int) {

@@ -1,13 +1,19 @@
 package analysis
 
+import "configvalidator/internal/analysis/sem"
+
 // Diagnostic codes. Codes are stable: renderers, baselines, and SARIF
-// consumers key on them, so a code is never renumbered or reused.
+// consumers key on them. The one historical exception: the style codes
+// originally shipped as CVL401–404 and moved to CVL501–504 when the
+// CVL4xx block was assigned to semantic analysis (docs/LINTING.md has
+// the baseline-migration note).
 //
 //	CVL0xx — single-file syntax and keyword errors
 //	CVL1xx — inheritance-graph findings
 //	CVL2xx — cross-file semantic findings
 //	CVL3xx — manifest and reachability findings
-//	CVL4xx — style and maintainability warnings
+//	CVL4xx — semantic (constraint-level) findings
+//	CVL5xx — style and maintainability warnings
 const (
 	CodeSyntax          = "CVL001" // YAML syntax error
 	CodeNotMapping      = "CVL002" // document or sequence element is not a mapping
@@ -37,10 +43,19 @@ const (
 	CodeUselessTagFilter = "CVL304" // manifest tag filter selects no rule
 	CodeDuplicateEntity  = "CVL305" // entity defined by more than one manifest
 
-	CodeMissingDescription = "CVL401" // rule has no description
-	CodeMissingTags        = "CVL402" // rule has no tags
-	CodeMissingOutputDesc  = "CVL403" // missing outcome description
-	CodeImplicitMatch      = "CVL404" // value list without explicit match spec
+	// Semantic analysis (internal/analysis/sem).
+	CodeUnsat                  = sem.CodeUnsat                  // CVL401: constraints admit no value
+	CodeSubsumed               = sem.CodeSubsumed               // CVL402: rule never fires independently
+	CodeInheritConflict        = sem.CodeInheritConflict        // CVL403: override contradicts inherited rule
+	CodeCompositeTautology     = sem.CodeCompositeTautology     // CVL404: composite always true
+	CodeCompositeContradiction = sem.CodeCompositeContradiction // CVL405: composite always false
+	CodeSeverityConflict       = sem.CodeSeverityConflict       // CVL406: overlapping rules disagree on severity
+	CodeTypeMismatch           = sem.CodeTypeMismatch           // CVL407: matcher can never match the key's declared type
+
+	CodeMissingDescription = "CVL501" // rule has no description
+	CodeMissingTags        = "CVL502" // rule has no tags
+	CodeMissingOutputDesc  = "CVL503" // missing outcome description
+	CodeImplicitMatch      = "CVL504" // value list without explicit match spec
 )
 
 // CodeInfo documents one diagnostic code for the catalog, SARIF rule
@@ -82,6 +97,13 @@ func Catalog() []CodeInfo {
 		{CodeUnreachableFile, "rule file is not referenced by any manifest", SevWarning},
 		{CodeUselessTagFilter, "manifest tag filter selects no rule", SevWarning},
 		{CodeDuplicateEntity, "entity defined by more than one manifest", SevWarning},
+		{CodeUnsat, "rule constraints are unsatisfiable: no value can pass", SevError},
+		{CodeSubsumed, "rule is subsumed by another rule and never fires independently", SevWarning},
+		{CodeInheritConflict, "override contradicts the inherited rule it replaces", SevError},
+		{CodeCompositeTautology, "composite expression is always true", SevWarning},
+		{CodeCompositeContradiction, "composite expression is always false", SevError},
+		{CodeSeverityConflict, "overlapping rules assign different severities to the same violation", SevWarning},
+		{CodeTypeMismatch, "value matcher can never match the key's lens-declared type", SevError},
 		{CodeMissingDescription, "rule has no description", SevWarning},
 		{CodeMissingTags, "rule has no tags", SevWarning},
 		{CodeMissingOutputDesc, "missing outcome description", SevWarning},

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
@@ -84,4 +85,96 @@ func TestGeneratedRulesClean(t *testing.T) {
 func fileNameFor(configPath string) string {
 	name := strings.Trim(strings.ReplaceAll(configPath, "/", "_"), "_")
 	return name + ".yaml"
+}
+
+// TestSemanticCorpus runs the golden corpus under internal/fixtures/sem:
+// one fixture project per CVL4xx code that must report exactly that code,
+// plus clean projects that must report no CVL4xx at all (no false
+// positives on legitimate overrides, regex envelopes, composites).
+func TestSemanticCorpus(t *testing.T) {
+	cases := []struct {
+		dir  string
+		want []string // exact set of expected CVL4xx codes
+	}{
+		{"cvl401_unsat", []string{"CVL401"}},
+		{"cvl402_subsumed", []string{"CVL402"}},
+		{"cvl403_port", []string{"CVL403"}},
+		{"cvl404_tautology", []string{"CVL404"}},
+		{"cvl405_contradiction", []string{"CVL405"}},
+		{"cvl406_severity", []string{"CVL406"}},
+		{"cvl407_type", []string{"CVL407"}},
+		{"cvl205_inherit", nil}, // cross-file CVL205, asserted below
+		{"clean", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			p := NewProject()
+			if err := p.AddDir(filepath.Join("..", "fixtures", "sem", tc.dir)); err != nil {
+				t.Fatal(err)
+			}
+			res := Analyze(p, Options{})
+			got := map[string]bool{}
+			for _, d := range res.Diagnostics {
+				if strings.HasPrefix(d.Code, "CVL4") {
+					got[d.Code] = true
+				}
+			}
+			want := map[string]bool{}
+			for _, c := range tc.want {
+				want[c] = true
+			}
+			for c := range want {
+				if !got[c] {
+					t.Errorf("expected %s, not reported; diagnostics:\n%s", c, renderAll(res.Diagnostics))
+				}
+			}
+			for c := range got {
+				if !want[c] {
+					t.Errorf("unexpected %s; diagnostics:\n%s", c, renderAll(res.Diagnostics))
+				}
+			}
+
+			switch tc.dir {
+			case "cvl403_port":
+				// Acceptance shape: positions in both files.
+				assertCrossFile(t, res.Diagnostics, "CVL403", "child.yaml", "base.yaml")
+			case "cvl205_inherit":
+				assertCrossFile(t, res.Diagnostics, "CVL205", "child.yaml", "base.yaml")
+			}
+		})
+	}
+}
+
+// assertCrossFile requires a diagnostic with the given code positioned in
+// primaryFile with a related location positioned in relatedFile.
+func assertCrossFile(t *testing.T, diags []Diagnostic, code, primaryFile, relatedFile string) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Code != code || !strings.HasSuffix(d.File, primaryFile) {
+			continue
+		}
+		if d.Line <= 0 {
+			t.Errorf("%s: no position in %s: %s", code, primaryFile, d)
+		}
+		for _, rel := range d.Related {
+			if strings.HasSuffix(rel.File, relatedFile) {
+				if rel.Line <= 0 {
+					t.Errorf("%s: no position in related %s: %s", code, relatedFile, d)
+				}
+				return
+			}
+		}
+		t.Errorf("%s: no related location in %s: %s", code, relatedFile, d)
+		return
+	}
+	t.Errorf("no %s diagnostic in %s:\n%s", code, primaryFile, renderAll(diags))
+}
+
+func renderAll(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
 }

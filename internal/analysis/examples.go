@@ -1,0 +1,156 @@
+package analysis
+
+// Example returns a minimal CVL snippet that triggers the given
+// diagnostic code, for `cvlint -explain` and docs/LINTING.md. The empty
+// string means no example is available; TestExamplesComplete keeps the
+// table in lockstep with the catalog.
+func Example(code string) string {
+	return codeExamples[code]
+}
+
+var codeExamples = map[string]string{
+	CodeSyntax: `config_name: PermitRootLogin
+  bad-indent: [
+`,
+	CodeNotMapping: `- just a string, not a rule mapping
+`,
+	CodeUnknownKeyword: `config_nme: PermitRootLogin   # typo: config_name
+`,
+	CodeWrongGroup: `config_name: PermitRootLogin
+path_permission: "0600"       # a path-rule keyword on a config_tree rule
+`,
+	CodeInvalidRule: `config_name: PermitRootLogin
+preferred_value_match: sometimes,all   # not a valid match kind
+`,
+	CodeDuplicateRule: `config_name: PermitRootLogin
+---
+config_name: PermitRootLogin   # same type and name twice in one file
+`,
+	CodeDuplicateParent: `parent_cvl_file: base.yaml
+---
+parent_cvl_file: other.yaml    # only one parent is allowed
+`,
+	CodeParentNotString: `parent_cvl_file: [base.yaml]   # must be a string, not a list
+`,
+	CodeMissingParent: `parent_cvl_file: no_such_file.yaml
+`,
+	CodeCycle: `# a.yaml
+parent_cvl_file: b.yaml
+# b.yaml
+parent_cvl_file: a.yaml
+`,
+	CodeDeadOverride: `config_name: NotInheritedAnywhere
+override: true                 # no parent rule to override
+`,
+	CodeShadowed: `# base.yaml defines PermitRootLogin; child.yaml:
+parent_cvl_file: base.yaml
+---
+config_name: PermitRootLogin   # replaces it silently; add override: true
+`,
+	CodeDeadDisabled: `config_name: NotInheritedAnywhere
+disabled: true                 # nothing to disable
+`,
+	CodeUnknownEntity: `composite_rule_name: agg
+composite_rule: nosuch.PermitRootLogin   # entity "nosuch" in no manifest
+`,
+	CodeUnknownRuleRef: `composite_rule_name: agg
+composite_rule: sshd.NoSuchRule          # falls back to key existence
+`,
+	CodeBadRegex: `config_name: Port
+preferred_value: ["[unclosed"]
+preferred_value_match: regex,any
+`,
+	CodeRelativePath: `path_name: etc/ssh/sshd_config   # not absolute
+`,
+	CodeContradiction: `config_name: Protocol
+preferred_value: ["2"]
+non_preferred_value: ["2"]       # same value both preferred and rejected
+`,
+	CodeMatchWithoutVal: `config_name: Protocol
+preferred_value_match: exact,any   # no preferred_value list
+`,
+	CodeBadManifest: `sshd:
+  cvl_files: sshd.yaml   # typo: cvl_file
+`,
+	CodeMissingRuleFile: `sshd:
+  cvl_file: no_such_rules.yaml
+`,
+	CodeUnreachableFile: `# extra.yaml exists in the project but no manifest entity
+# references it, directly or through inheritance.
+`,
+	CodeUselessTagFilter: `sshd:
+  cvl_file: sshd.yaml
+  tags: ["#no-rule-has-this-tag"]
+`,
+	CodeDuplicateEntity: `# manifest_a.yaml and manifest_b.yaml both define:
+sshd:
+  cvl_file: sshd.yaml
+`,
+	CodeUnsat: `config_name: Protocol
+preferred_value: ["2"]
+preferred_value_match: exact,any
+non_preferred_value: ["2"]       # rejects the only accepted value
+non_preferred_value_match: exact,any
+`,
+	CodeSubsumed: `config_schema_name: broad
+query_constraints: "dir = ?"
+query_constraints_value: ["/tmp"]
+query_columns: [opts]
+expect_rows: ">=1"
+non_preferred_value: [defaults, exec]
+non_preferred_value_match: exact,any
+---
+config_schema_name: narrow       # rejects a subset of "broad"'s values:
+query_constraints: "dir = ?"     # it can never fire on its own
+query_constraints_value: ["/tmp"]
+query_columns: [opts]
+expect_rows: ">=1"
+non_preferred_value: [defaults]
+non_preferred_value_match: exact,any
+`,
+	CodeInheritConflict: `# base.yaml accepts only high ports:
+config_name: Port
+preferred_value: ["^(102[4-9]|10[3-9][0-9]|1[1-9][0-9]{2}|[2-9][0-9]{3}|[1-6][0-9]{4})$"]
+preferred_value_match: regex,any
+# child.yaml overrides with a value outside that envelope:
+parent_cvl_file: base.yaml
+---
+config_name: Port
+override: true
+preferred_value: ["22"]
+preferred_value_match: exact,any
+`,
+	CodeCompositeTautology: `composite_rule_name: always_true
+composite_rule: db.ssl || !db.ssl
+`,
+	CodeCompositeContradiction: `composite_rule_name: never_true
+composite_rule: db.ssl && !db.ssl
+`,
+	CodeSeverityConflict: `script_name: selinux_hard
+script_feature: selinux
+severity: high
+non_preferred_value: [disabled, permissive]
+non_preferred_value_match: exact,any
+---
+script_name: selinux_soft        # both reject "disabled", severities differ
+script_feature: selinux
+severity: low
+non_preferred_value: [disabled]
+non_preferred_value_match: exact,any
+`,
+	CodeTypeMismatch: `config_name: Port                # sshd declares Port as a port number
+file_context: [sshd_config]
+preferred_value: ["yes"]         # can never match any legal Port value
+preferred_value_match: exact,any
+`,
+	CodeMissingDescription: `config_name: PermitRootLogin     # no config_description
+`,
+	CodeMissingTags: `config_name: PermitRootLogin     # no tags list
+`,
+	CodeMissingOutputDesc: `config_name: PermitRootLogin
+preferred_value: ["no"]          # no matched/not-matched descriptions
+`,
+	CodeImplicitMatch: `config_name: PermitRootLogin
+preferred_value: ["no"]          # no preferred_value_match; defaults apply
+`,
+}

@@ -1,0 +1,21 @@
+package analysis
+
+import "testing"
+
+// Every catalog code must have a minimal triggering example (for
+// cvlint -explain), and the example table must not carry codes the
+// catalog no longer defines.
+func TestExamplesComplete(t *testing.T) {
+	known := map[string]bool{}
+	for _, c := range Catalog() {
+		known[c.Code] = true
+		if Example(c.Code) == "" {
+			t.Errorf("catalog code %s has no example", c.Code)
+		}
+	}
+	for code := range codeExamples {
+		if !known[code] {
+			t.Errorf("example for %s, but the catalog does not define it", code)
+		}
+	}
+}

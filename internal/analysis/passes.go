@@ -63,6 +63,20 @@ type analyzer struct {
 	ruleFiles []string // rule-file paths in project order
 	manifests []string // manifest paths in project order
 	entities  []*manEntity
+
+	// replacements records every (inherited rule, replacing rule) pair
+	// found while resolving inheritance, for the cross-chain checks
+	// (CVL205 across files, CVL403).
+	replacements []replacePair
+	// entityFiles maps entity name → resolved rule-file chain, filled by
+	// checkComposites and reused by the semantic pass.
+	entityFiles map[string][]string
+}
+
+// replacePair is one inheritance replacement: child's rule entry took the
+// place of the parent's for the same rule key.
+type replacePair struct {
+	parent, child *ruleEntry
 }
 
 func newAnalyzer(p *Project, opts Options) *analyzer {
@@ -396,12 +410,16 @@ func (a *analyzer) effective(path string) map[string]*ruleEntry {
 		case inParent && !e.rule.Override && !seenHere[key]:
 			a.report(CodeShadowed, path, e.start(), e.rule.Name,
 				"silently shadows the rule inherited from %s; add override: true to make the replacement explicit", inherited.file)
+			a.replacements = append(a.replacements, replacePair{parent: inherited, child: e})
 			eff[key] = e
 		case !inParent && e.rule.Override:
 			a.report(CodeDeadOverride, path, e.start(), e.rule.Name,
 				"marked override: true but no inherited rule matches")
 			eff[key] = e
 		default:
+			if inParent {
+				a.replacements = append(a.replacements, replacePair{parent: inherited, child: e})
+			}
 			eff[key] = e
 		}
 		seenHere[key] = true
@@ -557,6 +575,7 @@ func (a *analyzer) checkComposites() {
 		}
 		entityFiles[ent.name] = files
 	}
+	a.entityFiles = entityFiles
 	for _, path := range a.ruleFiles {
 		for _, e := range a.files[path].rules {
 			if e.rule == nil || e.rule.Type != cvl.TypeComposite || e.rule.CompositeExpr == nil {

@@ -15,6 +15,13 @@ func RenderText(w io.Writer, diags []Diagnostic, filesChecked, suppressed int, q
 			continue
 		}
 		fmt.Fprintln(w, d)
+		for _, rel := range d.Related {
+			fmt.Fprintf(w, "    %s:%d:%d: related: ", rel.File, rel.Line, rel.Col)
+			if rel.Rule != "" {
+				fmt.Fprintf(w, "rule %q: ", rel.Rule)
+			}
+			fmt.Fprintln(w, rel.Msg)
+		}
 	}
 	errors, warnings := countLevels(diags)
 	fmt.Fprintf(w, "%d file(s) checked, %d error(s), %d warning(s)", filesChecked, errors, warnings)
@@ -28,19 +35,29 @@ func RenderText(w io.Writer, diags []Diagnostic, filesChecked, suppressed int, q
 // JSON renderer and the server's lint endpoint. Text carries the rendered
 // one-line form for consumers that only display findings.
 type JSONDiagnostic struct {
-	Code     string `json:"code"`
-	Severity string `json:"severity"`
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Rule     string `json:"rule,omitempty"`
-	Msg      string `json:"msg"`
-	Text     string `json:"text"`
+	Code     string        `json:"code"`
+	Severity string        `json:"severity"`
+	File     string        `json:"file"`
+	Line     int           `json:"line"`
+	Col      int           `json:"col"`
+	Rule     string        `json:"rule,omitempty"`
+	Msg      string        `json:"msg"`
+	Text     string        `json:"text"`
+	Related  []JSONRelated `json:"related,omitempty"`
+}
+
+// JSONRelated is a secondary location in the wire shape.
+type JSONRelated struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule,omitempty"`
+	Msg  string `json:"msg"`
 }
 
 // JSON converts the diagnostic to its wire shape.
 func (d Diagnostic) JSON() JSONDiagnostic {
-	return JSONDiagnostic{
+	out := JSONDiagnostic{
 		Code:     d.Code,
 		Severity: d.Severity.String(),
 		File:     d.File,
@@ -50,6 +67,10 @@ func (d Diagnostic) JSON() JSONDiagnostic {
 		Msg:      d.Msg,
 		Text:     d.String(),
 	}
+	for _, rel := range d.Related {
+		out.Related = append(out.Related, JSONRelated{File: rel.File, Line: rel.Line, Col: rel.Col, Rule: rel.Rule, Msg: rel.Msg})
+	}
+	return out
 }
 
 // RenderJSON writes the diagnostics as one indented JSON object:
@@ -111,15 +132,17 @@ type sarifMessage struct {
 }
 
 type sarifResult struct {
-	RuleID    string          `json:"ruleId"`
-	RuleIndex int             `json:"ruleIndex"`
-	Level     string          `json:"level"`
-	Message   sarifMessage    `json:"message"`
-	Locations []sarifLocation `json:"locations"`
+	RuleID           string          `json:"ruleId"`
+	RuleIndex        int             `json:"ruleIndex"`
+	Level            string          `json:"level"`
+	Message          sarifMessage    `json:"message"`
+	Locations        []sarifLocation `json:"locations"`
+	RelatedLocations []sarifLocation `json:"relatedLocations,omitempty"`
 }
 
 type sarifLocation struct {
 	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifMessage `json:"message,omitempty"`
 }
 
 type sarifPhysical struct {
@@ -156,7 +179,7 @@ func RenderSARIF(w io.Writer, diags []Diagnostic) error {
 		if d.Rule != "" {
 			msg = fmt.Sprintf("rule %q: %s", d.Rule, d.Msg)
 		}
-		results = append(results, sarifResult{
+		res := sarifResult{
 			RuleID:    d.Code,
 			RuleIndex: index[d.Code],
 			Level:     d.Severity.String(),
@@ -167,7 +190,17 @@ func RenderSARIF(w io.Writer, diags []Diagnostic) error {
 					Region:           sarifRegion{StartLine: max(d.Line, 1), StartColumn: max(d.Col, 1)},
 				},
 			}},
-		})
+		}
+		for _, rel := range d.Related {
+			res.RelatedLocations = append(res.RelatedLocations, sarifLocation{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: rel.File},
+					Region:           sarifRegion{StartLine: max(rel.Line, 1), StartColumn: max(rel.Col, 1)},
+				},
+				Message: &sarifMessage{Text: rel.Msg},
+			})
+		}
+		results = append(results, res)
 	}
 	log := sarifLog{
 		Schema:  SARIFSchemaURI,

@@ -1,0 +1,515 @@
+package sem
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+
+	"configvalidator/internal/cvl"
+	"configvalidator/internal/lens"
+	"configvalidator/internal/schema"
+)
+
+// defaultLenses resolves a rule's file_context entries to lenses, the
+// same way the engine picks a lens for a discovered config file.
+var defaultLenses = lens.Default()
+
+// RowMode classifies a schema rule's row-count expectation.
+type RowMode int
+
+// Row modes.
+const (
+	// RowNone means the rule places no analyzable row-count constraint.
+	RowNone RowMode = iota
+	// RowForbid means no row may satisfy the constraints (expect_rows 0).
+	RowForbid
+	// RowRequire means at least one row must satisfy the constraints.
+	RowRequire
+)
+
+// RuleIR is one rule lowered into the constraint IR: its value matchers
+// as abstract sets, presence behavior, and derived pass/fail facts.
+type RuleIR struct {
+	// Rule is the source rule.
+	Rule *cvl.Rule
+	// Unit names the resolved rule set the rule was lowered in.
+	Unit string
+	// Lens is the lens its file_context resolves to; "" when unknown.
+	Lens string
+	// Key is the constrained configuration key (tree: the config key;
+	// script: the feature); "" when the rule has no key slot.
+	Key string
+
+	// Pref and NonPref approximate the preferred / non-preferred
+	// matchers' languages; nil when the list is absent.
+	Pref, NonPref *Set
+	// PrefExact / NonPrefExact report whether the approximations are
+	// exact languages rather than over-approximations.
+	PrefExact, NonPrefExact bool
+
+	// Pass over-approximates the values on which the rule passes;
+	// Viol over-approximates the values on which it fails. Exact flags
+	// as above. Both are nil when the rule matches no values at all.
+	Pass, Viol           *Set
+	PassExact, ViolExact bool
+
+	// AbsentPass mirrors the rule's behavior when the key is missing.
+	AbsentPass bool
+
+	// Row constraints for schema rules whose conjunctive constraints
+	// all address one column: RowCol is the column, RowRegion the
+	// region of column values the constraints select.
+	RowMode   RowMode
+	RowCol    string
+	RowRegion *Set
+	RowExact  bool
+
+	// CanNeverPass / CanNeverFail are proven evaluation constants:
+	// the rule fails (or passes) on every possible configuration.
+	CanNeverPass bool
+	CanNeverFail bool
+
+	// slotID groups rules that constrain the same value slot.
+	slotID string
+	// valueSlot groups schema rules whose value matchers apply to the
+	// same projected rows and columns.
+	valueSlot string
+}
+
+// IR is the lowered form of one resolved rule set (post-inheritance,
+// post-override): the input contract shared by the semantic checker and
+// the planned rule compiler.
+type IR struct {
+	// Unit names the rule set, typically the rule file path.
+	Unit string
+	// Rules holds the lowered rules in input order.
+	Rules []*RuleIR
+	// byName indexes rules by rule name (first definition wins), used to
+	// resolve composite references.
+	byName map[string]*RuleIR
+}
+
+// ByName returns the lowered rule with the given name.
+func (ir *IR) ByName(name string) (*RuleIR, bool) {
+	r, ok := ir.byName[name]
+	return r, ok
+}
+
+// Lower lowers a resolved rule set into the constraint IR. Rules must be
+// post-inheritance: every entry is an effective rule, with overridden
+// parents already replaced.
+func Lower(unit string, rules []*cvl.Rule) *IR {
+	ir := &IR{Unit: unit, byName: make(map[string]*RuleIR, len(rules))}
+	for _, r := range rules {
+		if r == nil || r.Disabled {
+			continue
+		}
+		ri := lowerRule(r)
+		ri.Unit = unit
+		ir.Rules = append(ir.Rules, ri)
+		if _, dup := ir.byName[r.Name]; !dup {
+			ir.byName[r.Name] = ri
+		}
+	}
+	return ir
+}
+
+// LowerRule lowers a single rule outside any rule set, for pairwise
+// comparisons such as inheritance replacement checks.
+func LowerRule(r *cvl.Rule) *RuleIR {
+	return lowerRule(r)
+}
+
+func lowerRule(r *cvl.Rule) *RuleIR {
+	ri := &RuleIR{Rule: r, AbsentPass: r.AbsentPass}
+	switch r.Type {
+	case cvl.TypeTree:
+		ri.Key = r.Name
+		ri.Lens = lensNameFor(r.FileContext)
+		ri.slotID = "tree|" + r.Name
+		lowerValueMatchers(ri)
+	case cvl.TypeScript:
+		ri.Key = r.ScriptFeature
+		ri.slotID = "script|" + r.ScriptFeature
+		lowerValueMatchers(ri)
+	case cvl.TypeSchema:
+		lowerSchema(ri)
+	case cvl.TypePath:
+		lowerPath(ri)
+	case cvl.TypeComposite:
+		// Composite semantics live in the checker's truth-table pass.
+	}
+	return ri
+}
+
+// lensNameFor resolves the first file_context entry that maps to a
+// registered lens.
+func lensNameFor(contexts []string) string {
+	for _, fc := range contexts {
+		if l, ok := defaultLenses.ForFile(fc); ok {
+			return l.Name()
+		}
+	}
+	return ""
+}
+
+// lowerValueMatchers fills Pref/NonPref/Pass/Viol from the rule's value
+// lists, mirroring the engine's checkValue: a candidate fails when it
+// matches any non-preferred value, then must match the preferred values
+// when that list is non-empty.
+func lowerValueMatchers(ri *RuleIR) {
+	r := ri.Rule
+	if len(r.PreferredValue) > 0 {
+		ri.Pref, ri.PrefExact = matchDomain(r.PreferredValue, r.PreferredMatch, r.CaseInsensitive)
+	}
+	if len(r.NonPreferredValue) > 0 {
+		ri.NonPref, ri.NonPrefExact = matchDomain(r.NonPreferredValue, r.NonPreferredMatch, r.CaseInsensitive)
+	}
+	if ri.Pref == nil && ri.NonPref == nil {
+		return
+	}
+	pass, passExact := Any(), true
+	if ri.NonPref != nil {
+		comp, compExact := ri.NonPref.Complement()
+		pass, passExact = comp, compExact && ri.NonPrefExact
+	}
+	if ri.Pref != nil {
+		inter, interExact := pass.Intersect(ri.Pref)
+		pass, passExact = inter, passExact && ri.PrefExact && interExact
+	}
+	ri.Pass, ri.PassExact = pass, passExact
+
+	switch {
+	case ri.Pref != nil && ri.NonPref == nil:
+		ri.Viol, ri.ViolExact = ri.Pref.Complement()
+		ri.ViolExact = ri.ViolExact && ri.PrefExact
+	case ri.Pref == nil && ri.NonPref != nil:
+		ri.Viol, ri.ViolExact = ri.NonPref, ri.NonPrefExact
+	default:
+		comp, compExact := ri.Pref.Complement()
+		viol, unionExact := ri.NonPref.Union(comp)
+		ri.Viol, ri.ViolExact = viol, compExact && unionExact && ri.PrefExact && ri.NonPrefExact
+	}
+
+	ri.CanNeverPass = ri.Pass.ProvablyEmpty() && !ri.AbsentPass
+	ri.CanNeverFail = ri.Viol.ProvablyEmpty() && ri.AbsentPass
+}
+
+// lowerSchema handles schema rules: the row-count constraint decomposes
+// into a per-column region when every conjunctive atom addresses the same
+// column, and value matchers group by their projection (constraints,
+// arguments, columns).
+func lowerSchema(ri *RuleIR) {
+	r := ri.Rule
+	if len(r.PreferredValue) > 0 || len(r.NonPreferredValue) > 0 {
+		ri.valueSlot = "schema|" + r.QueryConstraints + "\x00" +
+			strings.Join(r.QueryConstraintsValue, "\x01") + "\x00" +
+			strings.Join(r.QueryColumns, "\x01") + "\x00" + r.ExpectRows
+		lowerValueMatchers(ri)
+		// A schema rule's absent case is "no matching rows"; the engine
+		// has no absent_pass for schema, so neither constant applies.
+		ri.CanNeverPass = ri.Pass != nil && ri.Pass.ProvablyEmpty()
+		ri.CanNeverFail = false
+	}
+	ri.RowMode = rowModeOf(r.ExpectRows)
+	if ri.RowMode == RowNone || r.QueryConstraints == "" {
+		return
+	}
+	atoms, conjunctive, err := schema.ConjunctiveAtoms(r.QueryConstraints, r.QueryConstraintsValue)
+	if err != nil || !conjunctive || len(atoms) == 0 {
+		ri.RowMode = RowNone
+		return
+	}
+	col := atoms[0].Column
+	region, exact := Any(), true
+	for _, a := range atoms {
+		if a.Column != col {
+			ri.RowMode = RowNone // multi-column constraints don't decompose
+			return
+		}
+		ar, arExact := atomRegion(a)
+		inter, interExact := region.Intersect(ar)
+		region, exact = inter, exact && arExact && interExact
+	}
+	ri.RowCol = col
+	ri.RowRegion = region
+	ri.RowExact = exact
+	if ri.RowMode == RowRequire && region.ProvablyEmpty() {
+		ri.CanNeverPass = true
+	}
+}
+
+// rowModeOf classifies expect_rows: "0" (or "<=0") forbids matching rows;
+// "N" / ">=N" with N >= 1 requires at least one.
+func rowModeOf(expect string) RowMode {
+	expect = strings.TrimSpace(expect)
+	switch {
+	case expect == "":
+		return RowNone
+	case expect == "0" || expect == "<=0":
+		return RowForbid
+	case strings.HasPrefix(expect, ">="):
+		if n, err := strconv.Atoi(strings.TrimSpace(expect[2:])); err == nil && n >= 1 {
+			return RowRequire
+		}
+	case strings.HasPrefix(expect, "<="):
+		return RowNone
+	default:
+		if n, err := strconv.Atoi(expect); err == nil && n >= 1 {
+			return RowRequire
+		}
+	}
+	return RowNone
+}
+
+// atomRegion converts one column comparison into the set of column
+// values satisfying it. Ordered comparisons use the numeric
+// interpretation (the engine falls back to string order only for
+// non-numeric cells; the linter's job is to flag constraints that are
+// numerically contradictory).
+func atomRegion(a schema.Atom) (*Set, bool) {
+	val := func(i int) string {
+		if i < len(a.Values) {
+			return a.Values[i]
+		}
+		return ""
+	}
+	switch a.Op {
+	case "=":
+		v := val(0)
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return Numeric(interval{lo: f, hi: f}), true
+		}
+		return Finite(v), true
+	case "!=":
+		v := val(0)
+		if _, err := strconv.ParseFloat(v, 64); err == nil {
+			// Complement of a numeric point: every non-numeric string
+			// plus every number but v. Approximate by the universe.
+			return Any(), false
+		}
+		return Except(v), true
+	case "<":
+		return orderedRegion(val(0), func(f float64) *Set { return atMost(f, true) })
+	case "<=":
+		return orderedRegion(val(0), func(f float64) *Set { return atMost(f, false) })
+	case ">":
+		return orderedRegion(val(0), func(f float64) *Set { return atLeast(f, true) })
+	case ">=":
+		return orderedRegion(val(0), func(f float64) *Set { return atLeast(f, false) })
+	case "IN":
+		allPlain := true
+		for _, v := range a.Values {
+			if _, err := strconv.ParseFloat(v, 64); err == nil {
+				allPlain = false
+				break
+			}
+		}
+		if allPlain {
+			return Finite(a.Values...), true
+		}
+		var parts *Set = Empty()
+		exact := true
+		for _, v := range a.Values {
+			r, rExact := atomRegion(schema.Atom{Column: a.Column, Op: "=", Values: []string{v}})
+			u, uExact := parts.Union(r)
+			parts, exact = u, exact && rExact && uExact
+		}
+		return parts, exact
+	case "LIKE":
+		pat := val(0)
+		return Pred("LIKE "+strconv.Quote(pat), likeMatcher(pat)), false
+	default:
+		return Any(), false
+	}
+}
+
+func orderedRegion(v string, build func(float64) *Set) (*Set, bool) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return Any(), false // string-ordered comparison: no useful region
+	}
+	return build(f), true
+}
+
+// likeMatcher compiles a SQL LIKE pattern (% and _ wildcards) into a
+// membership test.
+func likeMatcher(pattern string) func(string) bool {
+	var b strings.Builder
+	b.WriteString("^")
+	for _, r := range pattern {
+		switch r {
+		case '%':
+			b.WriteString(".*")
+		case '_':
+			b.WriteString(".")
+		default:
+			b.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	b.WriteString("$")
+	re, err := regexp.Compile(b.String())
+	if err != nil {
+		return func(string) bool { return false }
+	}
+	return re.MatchString
+}
+
+// lowerPath derives pass facts for path rules: an exact permission that
+// exceeds the rule's own max_permission mask is unsatisfiable.
+func lowerPath(ri *RuleIR) {
+	r := ri.Rule
+	if r.Permission >= 0 && r.MaxPermission >= 0 && r.Permission&^r.MaxPermission != 0 {
+		ri.CanNeverPass = true
+	}
+}
+
+// matchDomain approximates the set of candidate values matching the
+// expected list under the given spec (defaulted to exact,any like the
+// engine).
+func matchDomain(values []string, spec cvl.MatchSpec, caseInsensitive bool) (*Set, bool) {
+	if spec.IsZero() {
+		spec = cvl.MatchSpec{Kind: cvl.MatchExact, Quant: cvl.QuantAny}
+	}
+	var acc *Set
+	accExact := true
+	for _, v := range values {
+		s, exact := oneValueSet(v, spec.Kind, caseInsensitive)
+		if acc == nil {
+			acc, accExact = s, exact
+			continue
+		}
+		if spec.Quant == cvl.QuantAll {
+			inter, interExact := acc.Intersect(s)
+			acc, accExact = inter, accExact && exact && interExact
+		} else {
+			u, uExact := acc.Union(s)
+			acc, accExact = u, accExact && exact && uExact
+		}
+	}
+	if acc == nil {
+		return Empty(), true // the engine matches nothing against an empty list
+	}
+	return acc, accExact
+}
+
+func oneValueSet(v string, kind cvl.MatchKind, caseInsensitive bool) (*Set, bool) {
+	switch kind {
+	case cvl.MatchExact:
+		if caseInsensitive {
+			want := strings.ToLower(v)
+			return Pred("equal (case-insensitive) to "+strconv.Quote(v), func(x string) bool {
+				return strings.ToLower(x) == want
+			}), false
+		}
+		return Finite(v), true
+	case cvl.MatchSubstr:
+		want := v
+		if caseInsensitive {
+			want = strings.ToLower(v)
+		}
+		return Pred("containing "+strconv.Quote(v), func(x string) bool {
+			if caseInsensitive {
+				x = strings.ToLower(x)
+			}
+			return strings.Contains(x, want)
+		}), false
+	case cvl.MatchRegex:
+		return regexSet(v, caseInsensitive)
+	default:
+		return Any(), false
+	}
+}
+
+// typeSet renders a lens-declared value type as an abstract set
+// over-approximating the key's legal values.
+func typeSet(vt lens.ValueType) *Set {
+	switch vt.Kind {
+	case lens.KindEnum:
+		return Finite(vt.Enum...)
+	case lens.KindPort:
+		return numRange(0, 65535)
+	case lens.KindUint:
+		return atLeast(0, false)
+	case lens.KindInt:
+		return Numeric(interval{loUnb: true, hiUnb: true})
+	default:
+		return Any()
+	}
+}
+
+// ruleRejects replays the engine's checkValue for one concrete value,
+// used to confirm overlap witnesses before reporting them. The second
+// result is false when the matchers cannot be evaluated statically.
+func ruleRejects(r *cvl.Rule, value string) (rejected, ok bool) {
+	fails := func(vals []string, spec cvl.MatchSpec) (bool, bool) {
+		if spec.IsZero() {
+			spec = cvl.MatchSpec{Kind: cvl.MatchExact, Quant: cvl.QuantAny}
+		}
+		matched := 0
+		for _, e := range vals {
+			m, known := concreteMatch(value, e, spec.Kind, r.CaseInsensitive)
+			if !known {
+				return false, false
+			}
+			if m {
+				if spec.Quant == cvl.QuantAny {
+					return true, true
+				}
+				matched++
+			} else if spec.Quant == cvl.QuantAll {
+				return false, true
+			}
+		}
+		return spec.Quant == cvl.QuantAll && matched == len(vals), true
+	}
+	if len(r.NonPreferredValue) > 0 {
+		bad, known := fails(r.NonPreferredValue, r.NonPreferredMatch)
+		if !known {
+			return false, false
+		}
+		if bad {
+			return true, true
+		}
+	}
+	if len(r.PreferredValue) > 0 {
+		good, known := fails(r.PreferredValue, r.PreferredMatch)
+		if !known {
+			return false, false
+		}
+		return !good, true
+	}
+	return false, true
+}
+
+func concreteMatch(value, expected string, kind cvl.MatchKind, caseInsensitive bool) (matched, known bool) {
+	if caseInsensitive && kind != cvl.MatchRegex {
+		value, expected = strings.ToLower(value), strings.ToLower(expected)
+	}
+	switch kind {
+	case cvl.MatchExact:
+		return value == expected, true
+	case cvl.MatchSubstr:
+		return strings.Contains(value, expected), true
+	case cvl.MatchRegex:
+		pat := expected
+		if caseInsensitive {
+			pat = "(?i)" + expected
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return false, false
+		}
+		return re.MatchString(value), true
+	default:
+		return false, false
+	}
+}
+
+// describeOr renders a set description with a fallback for nil sets.
+func describeOr(s *Set, fallback string) string {
+	if s == nil {
+		return fallback
+	}
+	return s.Describe()
+}

@@ -1,0 +1,116 @@
+package lens
+
+// Value-type declarations: each lens can declare, for its well-known
+// configuration keys, the shape of values that key can legally take. The
+// semantic rule analyzer (internal/analysis/sem) uses these declarations
+// to prove that a rule's value matcher can never match any legal value of
+// the key it constrains (diagnostic CVL407) — a "Port" rule preferring
+// "yes", say, or a boolean key matched against a number.
+//
+// Declarations are deliberately conservative: a key is only declared when
+// its legal value set is pinned down by the format's documentation. Keys
+// without a declaration are unconstrained.
+
+// ValueKind classifies a declared key type.
+type ValueKind int
+
+// Value kinds.
+const (
+	// KindInt admits any (optionally signed) decimal integer.
+	KindInt ValueKind = iota + 1
+	// KindUint admits non-negative decimal integers.
+	KindUint
+	// KindPort admits integers in [0, 65535].
+	KindPort
+	// KindEnum admits exactly the values listed in ValueType.Enum.
+	KindEnum
+)
+
+// String names the kind for diagnostics.
+func (k ValueKind) String() string {
+	switch k {
+	case KindInt:
+		return "integer"
+	case KindUint:
+		return "non-negative integer"
+	case KindPort:
+		return "port number (0-65535)"
+	case KindEnum:
+		return "enumeration"
+	default:
+		return "unknown"
+	}
+}
+
+// ValueType is the declared type of one configuration key.
+type ValueType struct {
+	// Kind is the value shape.
+	Kind ValueKind
+	// Enum lists the legal values when Kind is KindEnum.
+	Enum []string
+}
+
+// yesNo is the classic boolean keyword pair used by sshd and friends.
+var yesNo = []string{"yes", "no"}
+
+// declaredTypes maps lens name → key → declared type. Key lookup is
+// exact; see DeclaredType.
+var declaredTypes = map[string]map[string]ValueType{
+	"sshd": {
+		// OpenSSH sshd_config(5). Enum sets include every documented
+		// keyword so legitimate hardening rules never trip CVL407.
+		"Port":                    {Kind: KindPort},
+		"MaxAuthTries":            {Kind: KindUint},
+		"MaxSessions":             {Kind: KindUint},
+		"ClientAliveInterval":     {Kind: KindUint},
+		"ClientAliveCountMax":     {Kind: KindUint},
+		"LoginGraceTime":          {Kind: KindUint},
+		"X11DisplayOffset":        {Kind: KindUint},
+		"Protocol":                {Kind: KindEnum, Enum: []string{"1", "2", "1,2", "2,1"}},
+		"PermitRootLogin":         {Kind: KindEnum, Enum: []string{"yes", "no", "prohibit-password", "without-password", "forced-commands-only"}},
+		"X11Forwarding":           {Kind: KindEnum, Enum: yesNo},
+		"IgnoreRhosts":            {Kind: KindEnum, Enum: yesNo},
+		"HostbasedAuthentication": {Kind: KindEnum, Enum: yesNo},
+		"PermitEmptyPasswords":    {Kind: KindEnum, Enum: yesNo},
+		"PermitUserEnvironment":   {Kind: KindEnum, Enum: yesNo},
+		"PasswordAuthentication":  {Kind: KindEnum, Enum: yesNo},
+		"PubkeyAuthentication":    {Kind: KindEnum, Enum: yesNo},
+		"UsePAM":                  {Kind: KindEnum, Enum: yesNo},
+		"StrictModes":             {Kind: KindEnum, Enum: yesNo},
+		"IgnoreUserKnownHosts":    {Kind: KindEnum, Enum: yesNo},
+		"GSSAPIAuthentication":    {Kind: KindEnum, Enum: yesNo},
+		"KerberosAuthentication":  {Kind: KindEnum, Enum: yesNo},
+		"AllowTcpForwarding":      {Kind: KindEnum, Enum: []string{"yes", "no", "local", "remote"}},
+		"LogLevel":                {Kind: KindEnum, Enum: []string{"QUIET", "FATAL", "ERROR", "INFO", "VERBOSE", "DEBUG", "DEBUG1", "DEBUG2", "DEBUG3"}},
+	},
+	"sysctl": {
+		// Kernel parameters validated by the built-in CIS pack. The 0/1
+		// toggles are declared as enums; counters as integers.
+		"net/ipv4/ip_forward":                        {Kind: KindEnum, Enum: []string{"0", "1"}},
+		"net/ipv4/conf/all/send_redirects":           {Kind: KindEnum, Enum: []string{"0", "1"}},
+		"net/ipv4/conf/all/accept_redirects":         {Kind: KindEnum, Enum: []string{"0", "1"}},
+		"net/ipv4/conf/all/accept_source_route":      {Kind: KindEnum, Enum: []string{"0", "1"}},
+		"net/ipv4/conf/all/log_martians":             {Kind: KindEnum, Enum: []string{"0", "1"}},
+		"net/ipv4/conf/all/rp_filter":                {Kind: KindEnum, Enum: []string{"0", "1", "2"}},
+		"net/ipv4/icmp_echo_ignore_broadcasts":       {Kind: KindEnum, Enum: []string{"0", "1"}},
+		"net/ipv4/icmp_ignore_bogus_error_responses": {Kind: KindEnum, Enum: []string{"0", "1"}},
+		"net/ipv4/tcp_syncookies":                    {Kind: KindEnum, Enum: []string{"0", "1"}},
+		"kernel/randomize_va_space":                  {Kind: KindEnum, Enum: []string{"0", "1", "2"}},
+		"fs/suid_dumpable":                           {Kind: KindEnum, Enum: []string{"0", "1", "2"}},
+		"net/ipv4/tcp_max_syn_backlog":               {Kind: KindUint},
+	},
+}
+
+// DeclaredType returns the declared value type of key under the named
+// lens, and whether one exists. The empty lens name never matches.
+func DeclaredType(lensName, key string) (ValueType, bool) {
+	if lensName == "" {
+		return ValueType{}, false
+	}
+	byKey, ok := declaredTypes[lensName]
+	if !ok {
+		return ValueType{}, false
+	}
+	vt, ok := byKey[key]
+	return vt, ok
+}

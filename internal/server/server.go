@@ -396,7 +396,11 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	}
 	// Single-file analysis: unresolved parent_cvl_file references are
 	// warnings here, since the request body has no surrounding project.
-	result := analysis.AnalyzeFile("request.yaml", content)
+	// ?semantic=0 (or false) skips the constraint-level CVL4xx pass.
+	semantic := r.URL.Query().Get("semantic")
+	result := analysis.AnalyzeFileOpts("request.yaml", content, analysis.Options{
+		NoSemantic: semantic == "0" || semantic == "false",
+	})
 	resp := lintResponse{Findings: make([]analysis.JSONDiagnostic, 0, len(result.Diagnostics))}
 	resp.Errors, resp.Warnings = result.Counts()
 	for _, d := range result.Diagnostics {

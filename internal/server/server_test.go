@@ -271,6 +271,40 @@ func TestLintEndpointParentIsWarning(t *testing.T) {
 	}
 }
 
+// TestLintEndpointSemanticToggle pins that the constraint-level CVL4xx
+// pass runs by default and that ?semantic=0 skips it.
+func TestLintEndpointSemanticToggle(t *testing.T) {
+	srv := testServer(t)
+	const unsat = "config_name: Protocol\n" +
+		"preferred_value: [\"2\"]\n" +
+		"preferred_value_match: exact,any\n" +
+		"non_preferred_value: [\"2\"]\n" +
+		"non_preferred_value_match: exact,any\n"
+	codes := func(url string) map[string]bool {
+		t.Helper()
+		resp, err := http.Post(url, "application/yaml", strings.NewReader(unsat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		var decoded lintResponse
+		if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]bool{}
+		for _, f := range decoded.Findings {
+			got[f.Code] = true
+		}
+		return got
+	}
+	if got := codes(srv.URL + "/v1/lint"); !got["CVL401"] {
+		t.Errorf("default lint missing CVL401: %v", got)
+	}
+	if got := codes(srv.URL + "/v1/lint?semantic=0"); got["CVL401"] {
+		t.Errorf("semantic=0 still reported CVL401: %v", got)
+	}
+}
+
 // smallLimitServer is a test server whose upload cap is shrunk so the
 // 413 path can be exercised without multi-hundred-MB bodies.
 func smallLimitServer(t *testing.T, limit int64) *httptest.Server {

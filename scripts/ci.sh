@@ -10,6 +10,14 @@ go build ./...
 # error-level diagnostic; warnings are reported but do not gate).
 go run ./cmd/cvlint -q -builtin
 
+# Semantic analysis gate: the library and the examples/rules project
+# must be free of CVL4xx findings, warnings included, with no baseline.
+analyze_out=$(go run ./cmd/cvlint -builtin; go run ./cmd/cvlint ./examples/rules)
+if echo "$analyze_out" | grep -E 'CVL4[0-9][0-9]'; then
+	echo "semantic findings above"
+	exit 1
+fi
+
 fmt_out=$(gofmt -l .)
 if [ -n "$fmt_out" ]; then
 	echo "gofmt needed on:"
