@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race lint analyze fuzz resume-smoke ci bench bench-check
+.PHONY: build test vet race lint analyze fuzz resume-smoke worker-kill-smoke ci bench bench-check
 
 build:
 	$(GO) build ./...
@@ -44,8 +44,14 @@ fuzz:
 resume-smoke:
 	./scripts/resume_smoke.sh
 
+# Worker-kill smoke: SIGKILL a cvworker process mid-shard during a
+# distributed coordinate run and require the merged summary to match an
+# in-process run's byte-for-byte.
+worker-kill-smoke:
+	./scripts/worker_kill_smoke.sh
+
 # The full gate: what CI runs on every change.
-ci: build lint analyze race resume-smoke fuzz
+ci: build lint analyze race resume-smoke worker-kill-smoke fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

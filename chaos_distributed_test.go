@@ -1,0 +1,343 @@
+// Distributed chaos drills: the coordinator/worker scale-out must survive
+// worker death and network partition without losing or double-counting a
+// single entity. Each drill compares the merged FleetSummary digest of a
+// faulted distributed run against a clean in-process run over the same
+// fleet — the two one-line summaries must be byte-identical.
+//
+// This file is an external test package (configvalidator_test) because it
+// wires internal/dist and internal/server together, both of which import
+// the root package.
+package configvalidator_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	configvalidator "configvalidator"
+	"configvalidator/internal/dist"
+	"configvalidator/internal/fixtures"
+	"configvalidator/internal/journal"
+	"configvalidator/internal/server"
+)
+
+// drillFleetProfile pins the generated fleet so the baseline and the
+// faulted distributed run validate identical entities.
+var drillFleetProfile = fixtures.Profile{Seed: 424242, MisconfigRate: 0.5}
+
+// drillEntities streams a freshly generated copy of the drill fleet.
+func drillEntities(t *testing.T, n int) <-chan configvalidator.Entity {
+	t.Helper()
+	reg, _ := fixtures.Fleet(n, drillFleetProfile)
+	out := make(chan configvalidator.Entity)
+	go func() {
+		defer close(out)
+		for _, ref := range reg.Images() {
+			img, err := reg.Pull(ref)
+			if err != nil {
+				continue
+			}
+			out <- img.Entity()
+		}
+	}()
+	return out
+}
+
+// baselineSummary runs the same fleet through the in-process scheduler —
+// the digest every faulted distributed run must reproduce exactly.
+func baselineSummary(t *testing.T, n int) string {
+	t.Helper()
+	v, err := configvalidator.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := configvalidator.Summarize(v.ValidateFleet(context.Background(),
+		drillEntities(t, n), configvalidator.FleetOptions{}))
+	return sum.String()
+}
+
+// drillWorker starts a cvworker-shaped server: shard scanning with a
+// journal segment directory and an artificial per-entity delay so drills
+// can land faults mid-shard deterministically.
+func drillWorker(t *testing.T, delay time.Duration) (*httptest.Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	v, err := configvalidator.New(configvalidator.WithTelemetry(configvalidator.NewCollector()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ShardJournalDir = dir
+	s.ShardScanDelay = delay
+	s.ShardWorkers = 1
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return srv, dir
+}
+
+// drillLogf returns a coordinator Logf that is safe to call from
+// coordinator goroutines (worker probes) that may outlive the test body.
+func drillLogf(t *testing.T) func(string, ...any) {
+	var mu sync.Mutex
+	done := false
+	t.Cleanup(func() { mu.Lock(); done = true; mu.Unlock() })
+	return func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !done {
+			t.Logf(format, args...)
+		}
+	}
+}
+
+// summarizeAll re-feeds collected results through Summarize.
+func summarizeAll(results []configvalidator.FleetResult) configvalidator.FleetSummary {
+	ch := make(chan configvalidator.FleetResult, len(results))
+	for _, r := range results {
+		ch <- r
+	}
+	close(ch)
+	return configvalidator.Summarize(ch)
+}
+
+// TestChaosDistributedWorkerKill is the headline drill: two workers share
+// a fleet, and the slow worker is killed (connections severed, listener
+// closed) as soon as it delivers its first result. The coordinator must
+// revoke the dead worker's leases, reassign the undelivered remainder to
+// the survivor, drop any duplicate deliveries, and produce a summary
+// byte-identical to a clean single-process run.
+func TestChaosDistributedWorkerKill(t *testing.T) {
+	const fleetSize = 18
+	want := baselineSummary(t, fleetSize)
+
+	w1, _ := drillWorker(t, 150*time.Millisecond) // slow: shards in flight when killed
+	w2, _ := drillWorker(t, 0)
+
+	collector := configvalidator.NewCollector()
+	v, err := configvalidator.New(configvalidator.WithTelemetry(collector))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := dist.NewCoordinator([]string{w1.URL, w2.URL}, dist.Options{
+		ShardSize:         3,
+		LeaseTTL:          5 * time.Second,
+		HeartbeatInterval: 25 * time.Millisecond,
+		ProbeLimit:        3,
+		ProbeBackoff:      30 * time.Millisecond,
+		Logf:              drillLogf(t),
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	results := v.ValidateFleet(ctx, drillEntities(t, fleetSize),
+		configvalidator.FleetOptions{Scheduler: coord})
+
+	killed := false
+	var all []configvalidator.FleetResult
+	fromSurvivor := 0
+	for res := range results {
+		if !killed && res.Worker == w1.URL {
+			killed = true
+			// SIGKILL equivalent for an httptest server: sever every
+			// connection (in-flight shard streams die mid-line), then close
+			// the listener so /readyz probes see a dead host.
+			w1.CloseClientConnections()
+			go w1.Close()
+		}
+		if res.Worker == w2.URL {
+			fromSurvivor++
+		}
+		all = append(all, res)
+	}
+	if !killed {
+		t.Fatal("no result ever arrived from the to-be-killed worker; drill did not exercise reassignment")
+	}
+
+	// Exactly-once: every entity appears once, none twice, none lost.
+	seen := map[string]int{}
+	for _, res := range all {
+		seen[res.Entity]++
+		if res.Err != nil {
+			t.Errorf("entity %s errored after reassignment: %v", res.Entity, res.Err)
+		}
+	}
+	if len(seen) != fleetSize {
+		t.Fatalf("distinct entities = %d, want %d", len(seen), fleetSize)
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("entity %s counted %d times, want exactly once", name, n)
+		}
+	}
+	if fromSurvivor == 0 {
+		t.Error("surviving worker produced no results")
+	}
+
+	if got := summarizeAll(all).String(); got != want {
+		t.Errorf("faulted distributed summary diverged from clean run:\n got: %s\nwant: %s", got, want)
+	}
+	snap := collector.Snapshot()
+	if snap.LeaseReassignments == 0 {
+		t.Error("worker killed mid-shard but no lease was reassigned")
+	}
+	if snap.ShardsCompleted != snap.ShardsDispatched-snap.LeaseReassignments {
+		t.Errorf("lease accounting leak: dispatched=%d completed=%d reassigned=%d",
+			snap.ShardsDispatched, snap.ShardsCompleted, snap.LeaseReassignments)
+	}
+	if snap.ActiveLeases != 0 {
+		t.Errorf("active lease gauge = %d after run, want 0", snap.ActiveLeases)
+	}
+}
+
+// tornSegmentTail appends a truncated record to a journal segment — the
+// bytes a worker SIGKILLed mid-append leaves behind. Error-returning
+// because drills call it off the test goroutine.
+func tornSegmentTail(path string) error {
+	payload := []byte(`{"entity":"torn","digest":"dead"}`)
+	var rec bytes.Buffer
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	rec.Write(hdr[:])
+	rec.Write(payload)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(rec.Bytes()[:rec.Len()-5]); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// TestChaosDistributedPartitionTornTail drills the uglier recovery path
+// on a single worker: the coordinator's connections are severed mid-shard
+// (partition — the worker process survives), the shard's journal segment
+// is left with a torn tail, and the segment flock is still held when the
+// coordinator re-leases (it must see 409 + Retry-After and retry, not
+// fail). The re-leased shard replays the worker's completed results from
+// the wounded segment, and the final summary still matches a clean run.
+func TestChaosDistributedPartitionTornTail(t *testing.T) {
+	const fleetSize = 8
+	want := baselineSummary(t, fleetSize)
+
+	w, dir := drillWorker(t, 150*time.Millisecond)
+
+	collector := configvalidator.NewCollector()
+	v, err := configvalidator.New(configvalidator.WithTelemetry(collector))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := dist.NewCoordinator([]string{w.URL}, dist.Options{
+		ShardSize:         4,
+		LeaseTTL:          5 * time.Second,
+		HeartbeatInterval: 25 * time.Millisecond,
+		ProbeLimit:        30,
+		ProbeBackoff:      150 * time.Millisecond, // give the test the flock race
+		Logf:              drillLogf(t),
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	results := v.ValidateFleet(ctx, drillEntities(t, fleetSize),
+		configvalidator.FleetOptions{Scheduler: coord})
+
+	faulted := make(chan string, 1) // shard segment the fault landed on
+	injected := false
+	var all []configvalidator.FleetResult
+	for res := range results {
+		if !injected {
+			injected = true
+			// Partition: kill the connections but leave the process alive,
+			// then wound the journal segment of the in-flight shard while
+			// holding its flock across the coordinator's re-lease attempt.
+			w.CloseClientConnections()
+			go func() {
+				seg := filepath.Join(dir, "s0000.cvj")
+				deadline := time.Now().Add(30 * time.Second)
+				var holder *journal.Journal
+				for {
+					j, err := journal.Open(seg, journal.Options{})
+					if err == nil {
+						holder = j
+						break
+					}
+					if !errors.Is(err, journal.ErrBusy) || time.Now().After(deadline) {
+						faulted <- ""
+						return
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+				if err := tornSegmentTail(seg); err != nil {
+					_ = holder.Close()
+					faulted <- ""
+					return
+				}
+				// Hold the flock until the coordinator's re-lease has been
+				// bounced at least once with 409, then let it through.
+				for time.Now().Before(deadline) {
+					if collector.Snapshot().WorkerRPCRetries > 0 {
+						break
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+				_ = holder.Close()
+				faulted <- seg
+			}()
+		}
+		all = append(all, res)
+	}
+	if !injected {
+		t.Fatal("run produced no results; fault was never injected")
+	}
+	if seg := <-faulted; seg == "" {
+		t.Fatal("could not acquire the shard segment flock after partition")
+	}
+
+	seen := map[string]int{}
+	resumed := 0
+	for _, res := range all {
+		seen[res.Entity]++
+		if res.Err != nil {
+			t.Errorf("entity %s errored after partition recovery: %v", res.Entity, res.Err)
+		}
+		if res.Resumed {
+			resumed++
+		}
+	}
+	if len(seen) != fleetSize {
+		t.Fatalf("distinct entities = %d, want %d", len(seen), fleetSize)
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("entity %s counted %d times, want exactly once", name, n)
+		}
+	}
+
+	if got := summarizeAll(all).String(); got != want {
+		t.Errorf("post-partition summary diverged from clean run:\n got: %s\nwant: %s", got, want)
+	}
+	snap := collector.Snapshot()
+	if snap.LeaseReassignments == 0 {
+		t.Error("partition mid-shard but no lease was reassigned")
+	}
+	if snap.WorkerRPCRetries == 0 {
+		t.Error("re-lease never hit the held segment's 409; flock fencing untested")
+	}
+	if snap.ActiveLeases != 0 {
+		t.Errorf("active lease gauge = %d after run, want 0", snap.ActiveLeases)
+	}
+	t.Logf("drill: reassignments=%d rpc_retries=%d resumed=%d", snap.LeaseReassignments, snap.WorkerRPCRetries, resumed)
+}

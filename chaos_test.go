@@ -394,9 +394,14 @@ func TestChaosCrashDrillResume(t *testing.T) {
 	}
 	cleanSummary := summarizeSlice(clean).String()
 
-	// Crashed run: only the first crashAt entities complete. The journal is
-	// deliberately NOT closed — a killed process never gets to — and the
-	// tail gains a torn half-record, as if the kill landed mid-append.
+	// Crashed run: only the first crashAt entities complete, and the tail
+	// then gains a torn half-record, as if the kill landed mid-append.
+	// The journal handle is closed before the resumed run opens the path:
+	// Open now enforces single-writer ownership with a process-death-
+	// released flock, so the unclosed-handle variant of this drill can
+	// only exist across real processes — which is exactly what
+	// scripts/resume_smoke.sh exercises. The on-disk bytes here are
+	// identical either way; recovery of the torn tail is unaffected.
 	jpath := filepath.Join(t.TempDir(), "fleet.cvj")
 	j1, err := OpenJournal(jpath, JournalOptions{})
 	if err != nil {
@@ -410,6 +415,9 @@ func TestChaosCrashDrillResume(t *testing.T) {
 		if res.Err != nil {
 			t.Fatalf("pre-crash scan of %s: %v", res.Entity, res.Err)
 		}
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
 	}
 	appendTornRecord(t, jpath)
 

@@ -70,8 +70,13 @@ func TestCheckpointReplaysUnchangedEntity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer j.Close()
-	if st := j.Stats(); st.Replayed != 1 {
+	st := j.Stats()
+	// Release the single-writer flock before the next CLI run opens the
+	// same checkpoint.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Replayed != 1 {
 		t.Errorf("journal holds %d records, want 1 (second run must not re-append)", st.Replayed)
 	}
 

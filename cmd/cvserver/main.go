@@ -20,6 +20,16 @@
 //
 // Setting CV_FAULTS arms deterministic fault injection in the validation
 // pipeline (chaos drills); see docs/OPERATIONS.md.
+//
+// With -coordinate, cvserver runs a distributed fleet validation instead
+// of serving HTTP: it generates (or reads) a fleet of entities, shards
+// them across the cvworker processes named by -workers under lease-based
+// fault tolerance, and prints the merged fleet summary. An empty -workers
+// list scans the same fleet in-process — the baseline the worker-kill CI
+// smoke compares the distributed summary digest against:
+//
+//	cvserver -coordinate -fleet 24                                # local baseline
+//	cvserver -coordinate -fleet 24 -workers http://h1:9101,http://h2:9101
 package main
 
 import (
@@ -30,10 +40,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	configvalidator "configvalidator"
+	"configvalidator/internal/dist"
+	"configvalidator/internal/fixtures"
 	"configvalidator/internal/server"
 )
 
@@ -59,11 +72,39 @@ func run(args []string) error {
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "how long the breaker stays open before probing (0 = default)")
 	parallelism := fs.Int("parallelism", 0, "intra-entity evaluation parallelism (0 = GOMAXPROCS, 1 = serial)")
 	parseCacheSize := fs.Int("parse-cache", configvalidator.DefaultParseCacheSize, "content-addressed parse cache capacity in files (0 = disabled)")
+	coordinate := fs.Bool("coordinate", false, "run a coordinated fleet validation instead of serving HTTP")
+	workers := fs.String("workers", "", "comma-separated cvworker base URLs for -coordinate (empty = scan in-process)")
+	fleetSize := fs.Int("fleet", 16, "number of generated fleet entities for -coordinate")
+	seed := fs.Int64("seed", 2017, "fleet generation seed for -coordinate")
+	misconfigRate := fs.Float64("misconfig", 0.4, "fleet misconfiguration rate for -coordinate")
+	shardSize := fs.Int("shard-size", 0, "entities per worker lease for -coordinate (0 = default)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "silence tolerated on a shard stream before revoking its lease (0 = default)")
+	heartbeatInterval := fs.Duration("heartbeat", 0, "heartbeat cadence requested from workers (0 = lease-ttl/4)")
+	scanTimeout := fs.Duration("scan-timeout", 0, "per-entity scan deadline for -coordinate (0 = none)")
+	scanRetries := fs.Int("scan-retries", 0, "transient-failure retries per entity for -coordinate")
+	fleetWorkers := fs.Int("fleet-workers", 0, "in-process scan concurrency for -coordinate without -workers (0 = GOMAXPROCS)")
+	journalPath := fs.String("journal", "", "coordinator result journal for -coordinate (crash-safe, resumable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *maxUpload <= 0 {
 		return fmt.Errorf("-max-upload must be positive")
+	}
+	if *coordinate {
+		return runCoordinate(coordinateConfig{
+			workers:       *workers,
+			fleetSize:     *fleetSize,
+			seed:          *seed,
+			misconfigRate: *misconfigRate,
+			shardSize:     *shardSize,
+			leaseTTL:      *leaseTTL,
+			heartbeat:     *heartbeatInterval,
+			scanTimeout:   *scanTimeout,
+			scanRetries:   *scanRetries,
+			fleetWorkers:  *fleetWorkers,
+			journalPath:   *journalPath,
+			parallelism:   *parallelism,
+		})
 	}
 	inj, err := configvalidator.FaultsFromEnv()
 	if err != nil {
@@ -134,4 +175,97 @@ func run(args []string) error {
 		}
 		return nil
 	}
+}
+
+// coordinateConfig carries the -coordinate flag values.
+type coordinateConfig struct {
+	workers       string
+	fleetSize     int
+	seed          int64
+	misconfigRate float64
+	shardSize     int
+	leaseTTL      time.Duration
+	heartbeat     time.Duration
+	scanTimeout   time.Duration
+	scanRetries   int
+	fleetWorkers  int
+	journalPath   string
+	parallelism   int
+}
+
+// runCoordinate validates a deterministic generated fleet, either
+// in-process (empty worker list — the baseline) or sharded across remote
+// cvworkers with lease-based fault tolerance. The merged summary line
+// goes to stdout; the two modes must print byte-identical summaries for
+// the same fleet, which is what the worker-kill CI smoke asserts.
+func runCoordinate(cfg coordinateConfig) error {
+	collector := configvalidator.NewCollector()
+	v, err := configvalidator.New(
+		configvalidator.WithTelemetry(collector),
+		configvalidator.WithParallelism(cfg.parallelism),
+	)
+	if err != nil {
+		return err
+	}
+
+	fopts := configvalidator.FleetOptions{
+		Workers:     cfg.fleetWorkers,
+		ScanTimeout: cfg.scanTimeout,
+		Retries:     cfg.scanRetries,
+	}
+	if cfg.journalPath != "" {
+		jrnl, err := configvalidator.OpenJournal(cfg.journalPath, configvalidator.JournalOptions{Metrics: collector})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = jrnl.Close() }()
+		fopts.Journal = jrnl
+	}
+	var workerURLs []string
+	for _, w := range strings.Split(cfg.workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workerURLs = append(workerURLs, w)
+		}
+	}
+	if len(workerURLs) > 0 {
+		fopts.Scheduler = dist.NewCoordinator(workerURLs, dist.Options{
+			ShardSize:         cfg.shardSize,
+			LeaseTTL:          cfg.leaseTTL,
+			HeartbeatInterval: cfg.heartbeat,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		fmt.Fprintf(os.Stderr, "cvserver: coordinating %d entities across %d workers\n", cfg.fleetSize, len(workerURLs))
+	}
+
+	reg, _ := fixtures.Fleet(cfg.fleetSize, fixtures.Profile{Seed: cfg.seed, MisconfigRate: cfg.misconfigRate})
+	entities := make(chan configvalidator.Entity)
+	go func() {
+		defer close(entities)
+		for _, ref := range reg.Images() {
+			img, err := reg.Pull(ref)
+			if err != nil {
+				continue
+			}
+			entities <- img.Entity()
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	summary := configvalidator.Summarize(v.ValidateFleet(ctx, entities, fopts))
+	fmt.Println(summary.String())
+
+	snap := collector.Snapshot()
+	if len(workerURLs) > 0 {
+		fmt.Fprintf(os.Stderr,
+			"cvserver: shards dispatched=%d completed=%d lease_reassignments=%d heartbeats_missed=%d duplicates_dropped=%d rpc_retries=%d\n",
+			snap.ShardsDispatched, snap.ShardsCompleted, snap.LeaseReassignments,
+			snap.HeartbeatsMissed, snap.DuplicateResults, snap.WorkerRPCRetries)
+	}
+	if summary.Errors > 0 {
+		return fmt.Errorf("fleet completed with %d errored entities", summary.Errors)
+	}
+	return nil
 }

@@ -19,6 +19,13 @@ import (
 // classifies as Transient and is retried under FleetOptions.Retries.
 var ErrScanTimeout = fmt.Errorf("scan deadline exceeded: %w", context.DeadlineExceeded)
 
+// ErrLeaseRevoked is the cancellation cause a distributed coordinator
+// attaches (context.WithCancelCause) when it revokes a shard lease —
+// after missed heartbeats, a worker death, or graceful drain — so scans
+// cut short by orchestration classify as ErrorKindRevoked in
+// FleetSummary.ErrorsByKind, distinguishable from a user pressing ^C.
+var ErrLeaseRevoked = errors.New("shard lease revoked")
+
 // FleetResult is the outcome of validating one entity of a fleet.
 type FleetResult struct {
 	// Entity is the scanned entity's name.
@@ -33,6 +40,22 @@ type FleetResult struct {
 	// (FleetOptions.Journal) instead of re-scanned: the entity's config
 	// digest matched a journaled completed record.
 	Resumed bool
+	// Worker names the remote worker that produced the result when the
+	// fleet ran under a distributed scheduler; empty for local scans.
+	// Purely informational: Summarize ignores it, so a distributed run's
+	// summary digest stays byte-identical to a single-process run's.
+	Worker string
+}
+
+// Scheduler is the execution-substrate seam for fleet validation: it
+// consumes entities and emits exactly one FleetResult per entity. The
+// default (a nil FleetOptions.Scheduler) is the in-process worker pool;
+// the distributed coordinator in internal/dist implements the same
+// contract over remote cvworker processes with shard leases and
+// journal-backed reassignment. Implementations must close the returned
+// channel once all results are delivered or the context is cancelled.
+type Scheduler interface {
+	Schedule(ctx context.Context, v *Validator, entities <-chan Entity, opts FleetOptions) <-chan FleetResult
 }
 
 // FleetOptions tune ValidateFleet.
@@ -66,6 +89,10 @@ type FleetOptions struct {
 	// over the same journal; the union of results equals one uninterrupted
 	// run. Open or recover one with OpenJournal.
 	Journal *Journal
+	// Scheduler selects the execution substrate; nil runs the in-process
+	// worker pool. A distributed run sets it to a dist.Coordinator, which
+	// shards the entity stream across remote cvworkers.
+	Scheduler Scheduler
 }
 
 const (
@@ -76,6 +103,17 @@ const (
 // jitterInt63n is the randomness source for retry jitter — a seam so tests
 // can pin it and assert backoff bounds deterministically.
 var jitterInt63n = rand.Int63n
+
+// NextBackoff draws the next decorrelated-jitter sleep: uniform in
+// [base, 3×prev], capped at 5s. With base == prev == cap the draw
+// degenerates to the cap, so backoff never exceeds 5s. ValidateFleet uses
+// it between scan retries; the distributed coordinator reuses it for
+// worker RPC retries and unhealthy-worker probing, so a fleet of
+// coordinators hammering one recovering worker does not retry in
+// lockstep.
+func NextBackoff(base, prev time.Duration) time.Duration {
+	return nextBackoff(base, prev)
+}
 
 // nextBackoff draws the next decorrelated-jitter sleep: uniform in
 // [base, 3×prev], capped at maxRetryBackoff. With base == prev == cap the
@@ -111,6 +149,18 @@ func nextBackoff(base, prev time.Duration) time.Duration {
 // compose (workers × intra-entity pool), so on a fully loaded machine
 // prefer raising Workers first and leave Parallelism at 1.
 func (v *Validator) ValidateFleet(ctx context.Context, entities <-chan Entity, opts FleetOptions) <-chan FleetResult {
+	if opts.Scheduler != nil {
+		return opts.Scheduler.Schedule(ctx, v, entities, opts)
+	}
+	return localScheduler{}.Schedule(ctx, v, entities, opts)
+}
+
+// localScheduler is the default execution substrate: a bounded in-process
+// worker pool pulling from the entity stream, with the journal resume and
+// append protocol applied per entity.
+type localScheduler struct{}
+
+func (localScheduler) Schedule(ctx context.Context, v *Validator, entities <-chan Entity, opts FleetOptions) <-chan FleetResult {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -215,7 +265,7 @@ func (v *Validator) safeConfigDigest(ctx context.Context, ent Entity, opts Fleet
 	case out := <-done:
 		return out.digest, out.err
 	case <-ctx.Done():
-		return "", fmt.Errorf("digest %s: %w", ent.Name(), ctx.Err())
+		return "", fmt.Errorf("digest %s: %w", ent.Name(), context.Cause(ctx))
 	}
 }
 
@@ -243,7 +293,7 @@ func (v *Validator) scanOne(ctx context.Context, ent Entity, opts FleetOptions) 
 		select {
 		case <-ctx.Done():
 			timer.Stop()
-			return FleetResult{Err: fmt.Errorf("scan %s: %w", ent.Name(), ctx.Err())}
+			return FleetResult{Err: fmt.Errorf("scan %s: %w", ent.Name(), context.Cause(ctx))}
 		case <-timer.C:
 		}
 		backoff = nextBackoff(base, backoff)
@@ -282,7 +332,10 @@ func (v *Validator) scanAttempt(ctx context.Context, ent Entity, target string, 
 			v.telemetry.ScanTimedOut(time.Since(start))
 			return nil, fmt.Errorf("%w (after %v)", ErrScanTimeout, timeout)
 		}
-		return nil, ctx.Err()
+		// Cancelled, not expired: surface the cancellation *cause* so a
+		// coordinator-revoked lease (ErrLeaseRevoked) classifies as revoked
+		// rather than blending into user cancellation.
+		return nil, context.Cause(ctx)
 	}
 }
 
@@ -312,19 +365,43 @@ const (
 	ErrorKindPanic = "panic"
 	// ErrorKindCancelled marks scans cut short by context cancellation.
 	ErrorKindCancelled = "cancelled"
+	// ErrorKindRevoked marks scans cut short because a distributed
+	// coordinator revoked the shard lease (missed heartbeats, worker
+	// death, drain) — orchestration, not user cancellation, and the
+	// coordinator normally reassigns and re-scans these.
+	ErrorKindRevoked = "revoked"
 	// ErrorKindPermanent marks every other failure — the errors retrying
 	// will not fix.
 	ErrorKindPermanent = "permanent"
 )
 
+// ErrorKinder lets an error carry its own ErrorsByKind classification —
+// the hook that keeps classification correct across process boundaries:
+// a worker classifies a scan error locally (where the error chain with
+// its sentinels still exists) and the coordinator reconstructs it as a
+// value whose ErrorKind survives the wire.
+type ErrorKinder interface {
+	error
+	ErrorKind() string
+}
+
 // ClassifyScanError maps a FleetResult.Err to its ErrorsByKind key. Panics
 // classify first (a panic during a deadline race is still a panic), then
-// deadline expiry, then cancellation; everything else is permanent.
+// errors that carry their own kind (remote results), then lease
+// revocation, deadline expiry, and cancellation; everything else is
+// permanent. Cancellation causes attached with context.WithCancelCause
+// flow through scan errors via context.Cause, which is how a revoked
+// lease stays distinguishable from a user pressing ^C.
 func ClassifyScanError(err error) string {
 	var pe *PanicError
+	var ek ErrorKinder
 	switch {
 	case errors.As(err, &pe):
 		return ErrorKindPanic
+	case errors.As(err, &ek):
+		return ek.ErrorKind()
+	case errors.Is(err, ErrLeaseRevoked):
+		return ErrorKindRevoked
 	case errors.Is(err, ErrScanTimeout) || errors.Is(err, context.DeadlineExceeded):
 		return ErrorKindTimeout
 	case errors.Is(err, context.Canceled):
@@ -398,10 +475,10 @@ func Summarize(results <-chan FleetResult) FleetSummary {
 // run's, which is what the kill-and-resume CI smoke compares.
 func (s FleetSummary) String() string {
 	return fmt.Sprintf(
-		"scanned=%d errors=%d err_timeout=%d err_panic=%d err_cancelled=%d err_permanent=%d entities_with_findings=%d entities_with_errors=%d entities_degraded=%d pass=%d fail=%d n/a=%d rule_errors=%d degraded=%d",
+		"scanned=%d errors=%d err_timeout=%d err_panic=%d err_cancelled=%d err_revoked=%d err_permanent=%d entities_with_findings=%d entities_with_errors=%d entities_degraded=%d pass=%d fail=%d n/a=%d rule_errors=%d degraded=%d",
 		s.Scanned, s.Errors,
 		s.ErrorsByKind[ErrorKindTimeout], s.ErrorsByKind[ErrorKindPanic],
-		s.ErrorsByKind[ErrorKindCancelled], s.ErrorsByKind[ErrorKindPermanent],
+		s.ErrorsByKind[ErrorKindCancelled], s.ErrorsByKind[ErrorKindRevoked], s.ErrorsByKind[ErrorKindPermanent],
 		s.EntitiesWithFindings, s.EntitiesWithErrors, s.EntitiesDegraded,
 		s.ByStatus[StatusPass], s.ByStatus[StatusFail],
 		s.ByStatus[StatusNotApplicable], s.ByStatus[StatusError], s.ByStatus[StatusDegraded])

@@ -1,9 +1,11 @@
 package configvalidator
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -815,5 +817,141 @@ func TestNextBackoffStaysBounded(t *testing.T) {
 			t.Fatalf("step %d: backoff %v outside [%v, %v]", i, next, base, upper)
 		}
 		prev = next
+	}
+}
+
+// TestNextBackoffProperty fuzzes the exported NextBackoff over random
+// (base, previous) pairs with a seeded RNG: every draw must land in
+// [base, min(3×previous, 5s)] (or degenerate to base when that interval
+// is empty), the invariant the distributed coordinator relies on when it
+// reuses the fleet's jitter for worker probing and dispatch retries.
+func TestNextBackoffProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20170901))
+	for i := 0; i < 5000; i++ {
+		base := time.Duration(1+rng.Intn(2000)) * time.Millisecond
+		prev := time.Duration(1+rng.Intn(12000)) * time.Millisecond
+		got := NextBackoff(base, prev)
+		upper := 3 * prev
+		if upper > maxRetryBackoff {
+			upper = maxRetryBackoff
+		}
+		if upper < base {
+			upper = base
+		}
+		if got < base || got > upper {
+			t.Fatalf("NextBackoff(%v, %v) = %v, outside [%v, %v]", base, prev, got, base, upper)
+		}
+	}
+	// Cap degeneration: once base and previous both sit at the cap, the
+	// draw is exactly the cap forever — backoff cannot creep past 5s.
+	if got := NextBackoff(maxRetryBackoff, maxRetryBackoff); got != maxRetryBackoff {
+		t.Fatalf("NextBackoff at cap = %v, want %v", got, maxRetryBackoff)
+	}
+}
+
+// TestScanRevokedClassification pins the lease-revocation path end to
+// end: a scan cancelled with ErrLeaseRevoked as the cancellation cause
+// (context.WithCancelCause, what the distributed coordinator does when a
+// lease expires) must surface the cause in the scan error and classify
+// as revoked — distinguishable from a user pressing ^C — all the way
+// into the fleet summary digest.
+func TestScanRevokedClassification(t *testing.T) {
+	v, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent := &alwaysTransientEntity{Mem: entity.NewMem("leased-host", entity.TypeHost)}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel(ErrLeaseRevoked)
+	}()
+	res := v.scanOne(ctx, ent, FleetOptions{Retries: 5, RetryBackoff: 30 * time.Second})
+	if res.Err == nil || !errors.Is(res.Err, ErrLeaseRevoked) {
+		t.Fatalf("res.Err = %v, want wrapped ErrLeaseRevoked", res.Err)
+	}
+	if got := ClassifyScanError(res.Err); got != ErrorKindRevoked {
+		t.Fatalf("ClassifyScanError = %q, want %q", got, ErrorKindRevoked)
+	}
+	ch := make(chan FleetResult, 1)
+	ch <- FleetResult{Entity: "leased-host", Err: res.Err}
+	close(ch)
+	sum := Summarize(ch)
+	if sum.ErrorsByKind[ErrorKindRevoked] != 1 {
+		t.Fatalf("ErrorsByKind = %v, want revoked=1", sum.ErrorsByKind)
+	}
+	if !strings.Contains(sum.String(), "err_revoked=1") {
+		t.Fatalf("summary digest %q missing err_revoked=1", sum.String())
+	}
+}
+
+// kindedErr is a test double for remote scan errors that carry their own
+// classification across a process boundary (dist.RemoteError in
+// production).
+type kindedErr struct{ kind string }
+
+func (e *kindedErr) Error() string     { return "remote: " + e.kind }
+func (e *kindedErr) ErrorKind() string { return e.kind }
+
+// TestClassifyScanErrorKinder pins the ErrorKinder hook: an error that
+// names its own kind classifies as that kind — even wrapped — which is
+// how a worker-side classification survives the wire to the coordinator.
+func TestClassifyScanErrorKinder(t *testing.T) {
+	for _, kind := range []string{ErrorKindTimeout, ErrorKindPanic, ErrorKindRevoked, ErrorKindPermanent} {
+		err := fmt.Errorf("scan img:v1: %w", &kindedErr{kind: kind})
+		if got := ClassifyScanError(err); got != kind {
+			t.Errorf("ClassifyScanError(kinded %q) = %q, want %q", kind, got, kind)
+		}
+	}
+	// A recovered panic outranks a carried kind: a panic during a revoked
+	// lease is still a panic.
+	wrapped := fmt.Errorf("%w: %w", &kindedErr{kind: ErrorKindTimeout}, &PanicError{Value: "boom"})
+	if got := ClassifyScanError(wrapped); got != ErrorKindPanic {
+		t.Errorf("ClassifyScanError(panic+kinded) = %q, want %q", got, ErrorKindPanic)
+	}
+}
+
+// TestFleetMetricsExposition asserts the fleet counters land in the
+// Prometheus exposition under their contract names: the retry counter
+// driven by a real transiently-failing scan, and the shard-lease counters
+// (whose increments are driven end to end by the distributed chaos
+// drills) under the names operators alert on.
+func TestFleetMetricsExposition(t *testing.T) {
+	collector := NewCollector()
+	v, err := New(WithTelemetry(collector))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyEntity{Mem: entity.NewMem("flaky-host", entity.TypeHost)}
+	flaky.failures = 2
+	results := v.ValidateFleet(context.Background(), sendEntities(flaky),
+		FleetOptions{Retries: 3, RetryBackoff: time.Millisecond})
+	for range results {
+	}
+	collector.ShardDispatched()
+	collector.LeaseReassigned()
+	var buf bytes.Buffer
+	if err := collector.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"configvalidator_scan_retries_total 2",
+		"configvalidator_shards_dispatched_total 1",
+		"configvalidator_scan_lease_reassignments_total 1",
+		"configvalidator_lease_heartbeats_missed_total 0",
+		"configvalidator_duplicate_results_dropped_total 0",
+		"configvalidator_active_leases 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	snap := collector.Snapshot()
+	if snap.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", snap.Retries)
+	}
+	if snap.LeaseReassignments != 1 {
+		t.Errorf("LeaseReassignments = %d, want 1", snap.LeaseReassignments)
 	}
 }

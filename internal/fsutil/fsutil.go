@@ -16,6 +16,10 @@ import (
 	"syscall"
 )
 
+// ErrLocked reports a LockFile call on a file another handle holds the
+// exclusive lock on.
+var ErrLocked = errors.New("fsutil: file locked by another writer")
+
 // WriteAtomic streams content into path atomically: the write callback
 // fills a hidden temp file in the same directory, which is fsynced, renamed
 // over path, and sealed with a directory fsync so the rename itself is

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package fsutil
+
+import "os"
+
+// LockFile is a no-op on platforms without flock semantics: single-writer
+// ownership is then enforced only by operator discipline, matching the
+// pre-guard behavior.
+func LockFile(f *os.File) error { return nil }

@@ -1,0 +1,31 @@
+//go:build unix
+
+package fsutil
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// LockFile places an exclusive, non-blocking advisory lock (flock) on f.
+// A file already locked by another handle — in this process or any other —
+// returns ErrLocked. The lock is tied to the open file description: it is
+// released by Close and, critically for crash-safety, by process death,
+// so a SIGKILLed owner never leaves a stale lock behind the way a lock
+// *file* would.
+func LockFile(f *os.File) error {
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, syscall.EINTR) {
+			continue
+		}
+		if errors.Is(err, syscall.EWOULDBLOCK) {
+			return ErrLocked
+		}
+		return err
+	}
+}

@@ -37,6 +37,16 @@
 // completed record per entity, via temp file + rename + directory fsync
 // (never in place), then continues appending to the compacted file — so a
 // long-lived journal is a snapshot plus a tail of recent appends.
+//
+// # Ownership
+//
+// A journal path is owned by exactly one handle at a time: Open takes an
+// exclusive flock on the file and a second Open — same process or
+// another — fails fast with ErrBusy instead of risking interleaved
+// appends or a compaction racing a concurrent writer. The lock dies with
+// the owning process, so crash-resume (the whole point of the journal)
+// never meets a stale lock. Any number of fleet workers may share the
+// *one* handle; Append serializes internally.
 package journal
 
 import (
@@ -69,6 +79,17 @@ var ErrNotJournal = errors.New("journal: file is not a configvalidator journal")
 
 // ErrClosed reports an operation on a closed journal.
 var ErrClosed = errors.New("journal: closed")
+
+// ErrBusy reports an Open of a journal another live handle already owns.
+// A journal is single-writer: exactly one handle (in one process) may
+// append to or compact a given path at a time. Without this guard a
+// second writer could interleave appends mid-record — torn garbage
+// recovery would silently truncate — or keep appending to the pre-compact
+// inode after Compact renames a snapshot over the path, losing records.
+// Ownership is enforced with an exclusive flock on the journal file, so a
+// SIGKILLed owner releases it automatically and crash-resume never meets
+// a stale lock.
+var ErrBusy = errors.New("journal: already open by another writer (journals are single-writer)")
 
 // Metrics receives journal events; *telemetry.Collector implements it. The
 // interface lives here so the journal does not import telemetry.
@@ -144,12 +165,20 @@ type Journal struct {
 
 // Open creates or recovers the journal at path. Recovery replays every
 // valid record into the resume index and truncates any torn or corrupt
-// tail; it never fails on corruption, only on I/O errors or on a file
-// that is not a journal at all.
+// tail; it never fails on corruption, only on I/O errors, on a file that
+// is not a journal at all, or on a journal another live handle already
+// owns (ErrBusy — journals are single-writer; see that error's doc).
 func Open(path string, opts Options) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	if err := fsutil.LockFile(f); err != nil {
+		_ = f.Close()
+		if errors.Is(err, fsutil.ErrLocked) {
+			return nil, fmt.Errorf("%w: %s", ErrBusy, path)
+		}
+		return nil, fmt.Errorf("journal: lock %s: %w", path, err)
 	}
 	j := &Journal{f: f, path: path, opts: opts, index: make(map[string]Record)}
 	if err := j.recover(); err != nil {
@@ -406,10 +435,20 @@ func (j *Journal) Compact() error {
 		return fmt.Errorf("journal: compact: %w", err)
 	}
 	// Swap the handle to the compacted file and position at its end for
-	// subsequent appends (the snapshot's tail).
+	// subsequent appends (the snapshot's tail). The rename replaced the
+	// inode, so ownership is re-asserted on the new file before the old
+	// (still-locked) handle is released — the single-writer guarantee
+	// holds across the swap.
 	f, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: reopen after compact: %w", err)
+	}
+	if err := fsutil.LockFile(f); err != nil {
+		_ = f.Close()
+		if errors.Is(err, fsutil.ErrLocked) {
+			return fmt.Errorf("%w: %s (stolen during compaction)", ErrBusy, j.path)
+		}
+		return fmt.Errorf("journal: relock after compact: %w", err)
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		_ = f.Close()

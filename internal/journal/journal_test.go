@@ -533,3 +533,75 @@ func TestFormatPinned(t *testing.T) {
 		t.Fatalf("crc32(configvalidator) = %#x; on-disk format changed", got)
 	}
 }
+
+// TestSingleWriterGuard is the regression for concurrent-writer
+// corruption: while one handle owns a journal, a second Open of the same
+// path must fail fast with ErrBusy instead of interleaving appends into
+// the record stream. Close releases ownership; the next Open then
+// replays normally.
+func TestSingleWriterGuard(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "guard.cvj")
+	j1, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Append(Record{Entity: "host-00", Digest: "d0", Report: NewReportRecord(sampleReport(0))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("second Open = %v, want ErrBusy", err)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("Open after Close = %v, want success", err)
+	}
+	defer func() { _ = j2.Close() }()
+	if _, ok := j2.Lookup("host-00", "d0"); !ok {
+		t.Fatal("record lost across ownership handoff")
+	}
+}
+
+// TestCompactKeepsOwnership pins the Compact/flock interaction: the
+// atomic rewrite replaces the file under the handle, and the reopened
+// post-rename file must carry the exclusive lock forward — a second
+// writer stays locked out straight through and after a compaction.
+func TestCompactKeepsOwnership(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "compact-own.cvj")
+	j1, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j1.Append(Record{Entity: "host-00", Digest: fmt.Sprintf("d%d", i), Report: NewReportRecord(sampleReport(0))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j1.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("Open after Compact = %v, want ErrBusy (ownership must survive the rewrite)", err)
+	}
+	// The owner keeps working after compaction...
+	if err := j1.Append(Record{Entity: "host-01", Digest: "x", Report: NewReportRecord(sampleReport(1))}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and a post-Close Open sees the compacted content plus the append.
+	j2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = j2.Close() }()
+	if _, ok := j2.Lookup("host-00", "d2"); !ok {
+		t.Fatal("compacted last-writer record missing")
+	}
+	if _, ok := j2.Lookup("host-01", "x"); !ok {
+		t.Fatal("post-compaction append missing")
+	}
+}

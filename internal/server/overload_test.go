@@ -14,6 +14,7 @@ import (
 
 	configvalidator "configvalidator"
 	"configvalidator/internal/faults"
+	"configvalidator/internal/telemetry"
 )
 
 // overloadServer builds a Server with explicit limits, an armed test gate,
@@ -375,5 +376,35 @@ func TestQueueWaitExpiryShedsQueued(t *testing.T) {
 	}
 	if fmt.Sprint(resp.Header.Get("Retry-After")) == "" {
 		t.Error("429 missing Retry-After")
+	}
+}
+
+// TestQueueGaugeDecrementsOnClientAbort pins limiter.acquire's gauge
+// accounting on the abandonment path: a queued request whose client goes
+// away (context cancelled) must decrement the queue-depth gauge on its
+// way out, or /metrics reports phantom queued work forever.
+func TestQueueGaugeDecrementsOnClientAbort(t *testing.T) {
+	m := telemetry.NewCollector()
+	lim := newLimiter(Limits{MaxInFlight: 1, MaxQueue: 4, QueueWait: time.Minute}.withDefaults(), m)
+	if !lim.acquire(context.Background()) {
+		t.Fatal("first acquire should take the only slot")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan bool, 1)
+	go func() { got <- lim.acquire(ctx) }()
+	eventually(t, "request queued", func() bool { return m.Snapshot().QueueDepth == 1 })
+	cancel()
+	if <-got {
+		t.Fatal("acquire succeeded after its context was cancelled")
+	}
+	eventually(t, "queue gauge drained", func() bool { return m.Snapshot().QueueDepth == 0 })
+	if q := lim.queued.Load(); q != 0 {
+		t.Fatalf("internal queued counter = %d, want 0", q)
+	}
+	// The freed queue capacity is genuinely reusable: release the slot and
+	// a fresh acquire must succeed immediately.
+	lim.release()
+	if !lim.acquire(context.Background()) {
+		t.Fatal("acquire after abort should succeed")
 	}
 }

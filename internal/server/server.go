@@ -13,6 +13,7 @@
 //	GET  /v1/rules/{target}       the target's CVL rule file
 //	POST /v1/validate/frame       validate a frame stream → JSON report
 //	POST /v1/validate/tar         validate a docker-export tar → JSON report
+//	POST /v1/shard/scan           scan a shard of shipped frames → result stream
 //	POST /v1/lint                 lint a CVL rule file → diagnostics
 //
 // Upload bodies are bounded (MaxFrameBytes for frames and tars,
@@ -68,6 +69,22 @@ type Server struct {
 	// defaults (see Limits). Operators may adjust them before Handler is
 	// called; later changes are ignored.
 	Limits Limits
+
+	// ShardWorkers is the per-shard scan concurrency for /v1/shard/scan;
+	// 0 means GOMAXPROCS (see FleetOptions.Workers).
+	ShardWorkers int
+
+	// ShardJournalDir, when set, gives each shard scan a durable journal
+	// segment (<dir>/<shard-id>.cvj): a re-leased shard replays the results
+	// this worker already completed instead of re-scanning them. Empty
+	// disables worker-side resume.
+	ShardJournalDir string
+
+	// ShardScanDelay stalls each shard entity before it is scanned — a
+	// pacing knob for chaos drills and CI smokes that need to kill a worker
+	// deterministically mid-shard. Zero (the default, and the production
+	// setting) adds nothing.
+	ShardScanDelay time.Duration
 
 	initOnce sync.Once
 	lim      *limiter
@@ -139,6 +156,15 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/rules/{target}", s.handleRules)
 	guarded("POST /v1/validate/frame", s.handleValidateFrame)
 	guarded("POST /v1/validate/tar", s.handleValidateTar)
+	// Shard scans stream heartbeats and incremental results, which
+	// http.TimeoutHandler would buffer into silence — so they pass the
+	// admission gate (drain, breaker, in-flight limit, 429 shedding) but
+	// not the per-request timeout. Their lifetime is bounded by the
+	// coordinator's lease watchdog instead: a silent stream is revoked at
+	// the lease TTL by dropping the connection, which cancels the request
+	// context and stops the scan.
+	mux.Handle("POST /v1/shard/scan", s.instrument("POST /v1/shard/scan",
+		s.admit(http.HandlerFunc(s.handleShardScan))))
 	handle("POST /v1/lint", s.handleLint)
 	return mux
 }
@@ -223,6 +249,14 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer, so streaming routes (shard scans)
+// stay flushable under instrumentation.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with request counting and latency recording

@@ -152,6 +152,20 @@ type Collector struct {
 	journalSkipped  atomic.Int64
 	scanAbandoned   atomic.Int64
 
+	// Distributed-fleet counters: shards handed to workers under a lease,
+	// shards whose every entity completed, leases revoked and reassigned
+	// after a missed heartbeat or worker failure, heartbeats the
+	// coordinator waited out, duplicate remote results dropped
+	// last-writer-wins, worker RPC dispatch retries, and the number of
+	// leases live right now (gauge).
+	shardsDispatched   atomic.Int64
+	shardsCompleted    atomic.Int64
+	leaseReassignments atomic.Int64
+	heartbeatsMissed   atomic.Int64
+	duplicateResults   atomic.Int64
+	workerRPCRetries   atomic.Int64
+	activeLeases       atomic.Int64
+
 	// Result counters by engine status. StatusPass..StatusDegraded are
 	// 1-based and contiguous; index 0 is unused.
 	statuses [6]atomic.Int64
@@ -356,6 +370,67 @@ func (c *Collector) ScanAbandoned() {
 	c.scanAbandoned.Add(1)
 }
 
+// ShardDispatched records one shard handed to a worker under a lease;
+// pair with either ShardCompleted or LeaseReassigned. It also raises the
+// active-leases gauge.
+func (c *Collector) ShardDispatched() {
+	if c == nil {
+		return
+	}
+	c.shardsDispatched.Add(1)
+	c.activeLeases.Add(1)
+}
+
+// ShardCompleted records one shard whose every entity produced a result;
+// lowers the active-leases gauge.
+func (c *Collector) ShardCompleted() {
+	if c == nil {
+		return
+	}
+	c.shardsCompleted.Add(1)
+	c.activeLeases.Add(-1)
+}
+
+// LeaseReassigned records one lease revoked (missed heartbeats, worker
+// death, drain) whose remaining entities were handed to another worker;
+// lowers the active-leases gauge.
+func (c *Collector) LeaseReassigned() {
+	if c == nil {
+		return
+	}
+	c.leaseReassignments.Add(1)
+	c.activeLeases.Add(-1)
+}
+
+// HeartbeatMissed records one lease whose worker went silent past the
+// lease TTL — the trigger for revocation.
+func (c *Collector) HeartbeatMissed() {
+	if c == nil {
+		return
+	}
+	c.heartbeatsMissed.Add(1)
+}
+
+// DuplicateResultDropped records one remote result discarded because the
+// entity already produced one (a revoked worker's stream racing its
+// replacement) — the stream-level twin of the journal's last-writer-wins
+// compaction.
+func (c *Collector) DuplicateResultDropped() {
+	if c == nil {
+		return
+	}
+	c.duplicateResults.Add(1)
+}
+
+// WorkerRPCRetry records one shard dispatch retried against a worker
+// (connection refusal, 429 backpressure, 503 breaker).
+func (c *Collector) WorkerRPCRetry() {
+	if c == nil {
+		return
+	}
+	c.workerRPCRetries.Add(1)
+}
+
 // RequestDone records one HTTP request against a route pattern.
 func (c *Collector) RequestDone(route string, code int, d time.Duration) {
 	if c == nil {
@@ -393,6 +468,12 @@ type Snapshot struct {
 	// cancellation before delivery.
 	JournalAppends, JournalReplayed, JournalCorruptRecords, JournalSkippedEntities int64
 	ScansAbandoned                                                                 int64
+	// Distributed-fleet counters: shards dispatched under a lease, shards
+	// fully completed, leases revoked and reassigned, heartbeats missed,
+	// duplicate remote results dropped, worker RPC dispatch retries, and
+	// the active-leases gauge.
+	ShardsDispatched, ShardsCompleted, LeaseReassignments, HeartbeatsMissed int64
+	DuplicateResults, WorkerRPCRetries, ActiveLeases                        int64
 	// ResultsByStatus tallies individual rule results across all scans.
 	ResultsByStatus map[engine.Status]int64
 	// ScanLatency is the scan-duration histogram.
@@ -425,6 +506,13 @@ func (c *Collector) Snapshot() Snapshot {
 		JournalCorruptRecords:  c.journalCorrupt.Load(),
 		JournalSkippedEntities: c.journalSkipped.Load(),
 		ScansAbandoned:         c.scanAbandoned.Load(),
+		ShardsDispatched:       c.shardsDispatched.Load(),
+		ShardsCompleted:        c.shardsCompleted.Load(),
+		LeaseReassignments:     c.leaseReassignments.Load(),
+		HeartbeatsMissed:       c.heartbeatsMissed.Load(),
+		DuplicateResults:       c.duplicateResults.Load(),
+		WorkerRPCRetries:       c.workerRPCRetries.Load(),
+		ActiveLeases:           c.activeLeases.Load(),
 		ResultsByStatus:        make(map[engine.Status]int64, 5),
 		ScanLatency:            c.scanLatency.snapshot(),
 		HTTPRequests:           make(map[string]int64),
@@ -477,11 +565,18 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 	counter("configvalidator_journal_corrupt_records_total", "Corrupt journal records dropped at recovery.", s.JournalCorruptRecords)
 	counter("configvalidator_journal_skipped_entities_total", "Fleet entities skipped on resume (journaled digest matched).", s.JournalSkippedEntities)
 	counter("configvalidator_scans_abandoned_total", "Computed fleet results dropped at context cancellation.", s.ScansAbandoned)
+	counter("configvalidator_shards_dispatched_total", "Shards handed to workers under a lease.", s.ShardsDispatched)
+	counter("configvalidator_shards_completed_total", "Shards whose every entity produced a result.", s.ShardsCompleted)
+	counter("configvalidator_scan_lease_reassignments_total", "Shard leases revoked and reassigned to another worker.", s.LeaseReassignments)
+	counter("configvalidator_lease_heartbeats_missed_total", "Leases whose worker went silent past the lease TTL.", s.HeartbeatsMissed)
+	counter("configvalidator_duplicate_results_dropped_total", "Duplicate remote results dropped last-writer-wins.", s.DuplicateResults)
+	counter("configvalidator_worker_rpc_retries_total", "Shard dispatches retried against a worker.", s.WorkerRPCRetries)
 
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
 	gauge("configvalidator_inflight_scans", "Validations executing right now.", s.InFlightScans)
+	gauge("configvalidator_active_leases", "Shard leases live right now.", s.ActiveLeases)
 	gauge("configvalidator_server_queue_depth", "HTTP requests waiting for an admission slot.", s.QueueDepth)
 	var breakerOpen int64
 	if s.BreakerOpen {

@@ -32,6 +32,11 @@ go test -race ./...
 # and require the summary to match an uninterrupted run's.
 ./scripts/resume_smoke.sh
 
+# Worker-kill smoke: SIGKILL a cvworker process mid-shard during a
+# distributed coordinate run and require the merged summary to match an
+# in-process run's.
+./scripts/worker_kill_smoke.sh
+
 # Fuzz smoke over the untrusted-input parsers; go test accepts one -fuzz
 # target per invocation, so each runs separately.
 fuzztime="${FUZZTIME:-10s}"
