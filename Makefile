@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race lint analyze fuzz resume-smoke worker-kill-smoke ci bench bench-check
+.PHONY: build test vet race lint analyze fuzz resume-smoke worker-kill-smoke enospc-smoke ci bench bench-check
 
 build:
 	$(GO) build ./...
@@ -50,8 +50,15 @@ resume-smoke:
 worker-kill-smoke:
 	./scripts/worker_kill_smoke.sh
 
+# Disk-pressure smoke: fill the disk under a journaled fleet scan
+# (size-capped tmpfs when privileged, CV_FAULTS ENOSPC injection
+# otherwise); the scan must complete degraded, account every failed
+# append, and resume journaling on a follow-up run.
+enospc-smoke:
+	./scripts/enospc_smoke.sh
+
 # The full gate: what CI runs on every change.
-ci: build lint analyze race resume-smoke worker-kill-smoke fuzz
+ci: build lint analyze race resume-smoke worker-kill-smoke enospc-smoke fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -15,9 +15,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"hash/crc32"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -340,4 +342,242 @@ func TestChaosDistributedPartitionTornTail(t *testing.T) {
 		t.Errorf("active lease gauge = %d after run, want 0", snap.ActiveLeases)
 	}
 	t.Logf("drill: reassignments=%d rpc_retries=%d resumed=%d", snap.LeaseReassignments, snap.WorkerRPCRetries, resumed)
+}
+
+// drillWorkerFaulted starts a worker whose validator carries a fault
+// injector — exactly what cvworker does when CV_FAULTS is set — and
+// returns its telemetry collector for worker-side assertions.
+func drillWorkerFaulted(t *testing.T, inj *configvalidator.FaultInjector, delay time.Duration) (*httptest.Server, *configvalidator.Collector) {
+	t.Helper()
+	collector := configvalidator.NewCollector()
+	v, err := configvalidator.New(
+		configvalidator.WithTelemetry(collector),
+		configvalidator.WithFaults(inj),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ShardJournalDir = t.TempDir()
+	s.ShardScanDelay = delay
+	s.ShardWorkers = 1
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return srv, collector
+}
+
+// TestChaosDistributedSegmentENOSPC: a worker's shard journal segment hits
+// ENOSPC mid-shard. The worker streams a degraded-journal record and keeps
+// scanning; the coordinator keeps the lease — zero reassignments, zero
+// missed heartbeats — and the merged summary is byte-identical to a clean
+// in-process run.
+func TestChaosDistributedSegmentENOSPC(t *testing.T) {
+	const fleetSize = 12
+	want := baselineSummary(t, fleetSize)
+
+	// The same spec an operator would set via CV_FAULTS.
+	inj, err := configvalidator.ParseFaults("op=segment-write kind=enospc after=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, workerCol := drillWorkerFaulted(t, inj, 0)
+
+	collector := configvalidator.NewCollector()
+	v, err := configvalidator.New(configvalidator.WithTelemetry(collector))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := dist.NewCoordinator([]string{w.URL}, dist.Options{
+		ShardSize:         4,
+		LeaseTTL:          5 * time.Second,
+		HeartbeatInterval: 25 * time.Millisecond,
+		Logf:              drillLogf(t),
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var all []configvalidator.FleetResult
+	for res := range v.ValidateFleet(ctx, drillEntities(t, fleetSize),
+		configvalidator.FleetOptions{Scheduler: coord}) {
+		all = append(all, res)
+	}
+
+	seen := map[string]int{}
+	for _, res := range all {
+		seen[res.Entity]++
+		if res.Err != nil {
+			t.Errorf("entity %s errored under worker disk pressure: %v", res.Entity, res.Err)
+		}
+	}
+	if len(seen) != fleetSize {
+		t.Fatalf("distinct entities = %d, want %d", len(seen), fleetSize)
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("entity %s counted %d times, want exactly once", name, n)
+		}
+	}
+	if got := summarizeAll(all).String(); got != want {
+		t.Errorf("summary diverged from clean run:\n got: %s\nwant: %s", got, want)
+	}
+	snap := collector.Snapshot()
+	if snap.LeaseReassignments != 0 {
+		t.Errorf("lease reassigned %d times; worker disk pressure must not cost the lease", snap.LeaseReassignments)
+	}
+	if snap.HeartbeatsMissed != 0 {
+		t.Errorf("heartbeats missed = %d, want 0", snap.HeartbeatsMissed)
+	}
+	wsnap := workerCol.Snapshot()
+	if wsnap.JournalAppendErrors == 0 {
+		t.Error("worker counted no segment append errors; fault never fired")
+	}
+	if !wsnap.JournalDegraded {
+		t.Error("worker journal_degraded gauge not set")
+	}
+}
+
+// TestChaosDistributedSegment507: the worker cannot even OPEN its journal
+// segment (disk full during the header write). It must answer 507, and the
+// coordinator must keep the lease and retry in place with worker-side
+// resume disabled — the scan completes with zero reassignments.
+func TestChaosDistributedSegment507(t *testing.T) {
+	const fleetSize = 8
+	want := baselineSummary(t, fleetSize)
+
+	// The journal's header fsync is the first write a new segment performs.
+	inj, err := configvalidator.ParseFaults("op=fsync kind=enospc times=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := drillWorkerFaulted(t, inj, 0)
+
+	collector := configvalidator.NewCollector()
+	v, err := configvalidator.New(configvalidator.WithTelemetry(collector))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := dist.NewCoordinator([]string{w.URL}, dist.Options{
+		ShardSize:         4,
+		LeaseTTL:          5 * time.Second,
+		HeartbeatInterval: 25 * time.Millisecond,
+		Logf:              drillLogf(t),
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var all []configvalidator.FleetResult
+	for res := range v.ValidateFleet(ctx, drillEntities(t, fleetSize),
+		configvalidator.FleetOptions{Scheduler: coord}) {
+		if res.Err != nil {
+			t.Errorf("entity %s errored after 507 re-dispatch: %v", res.Entity, res.Err)
+		}
+		all = append(all, res)
+	}
+	if len(all) != fleetSize {
+		t.Fatalf("results = %d, want %d", len(all), fleetSize)
+	}
+	if got := summarizeAll(all).String(); got != want {
+		t.Errorf("summary diverged from clean run:\n got: %s\nwant: %s", got, want)
+	}
+	snap := collector.Snapshot()
+	if snap.WorkerRPCRetries == 0 {
+		t.Error("no in-place retry recorded; the 507 path never exercised")
+	}
+	if snap.LeaseReassignments != 0 {
+		t.Errorf("lease reassigned %d times; a 507 must be retried in place", snap.LeaseReassignments)
+	}
+}
+
+// TestChaosDistributedStuckConsumer: the FleetResult consumer wedges for
+// several lease TTLs mid-run. Backpressure must hold the shard streams
+// without revoking a single healthy lease — the watchdog has to tell
+// "consumer stalled" from "worker silent" — the stall must be counted, and
+// every goroutine the run spawned must wind down afterwards.
+func TestChaosDistributedStuckConsumer(t *testing.T) {
+	const fleetSize = 8
+	want := baselineSummary(t, fleetSize)
+
+	w, _ := drillWorker(t, 0)
+	httpClient := &http.Client{}
+	before := runtime.NumGoroutine()
+
+	collector := configvalidator.NewCollector()
+	v, err := configvalidator.New(configvalidator.WithTelemetry(collector))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const leaseTTL = 200 * time.Millisecond
+	coord := dist.NewCoordinator([]string{w.URL}, dist.Options{
+		ShardSize:         4,
+		LeaseTTL:          leaseTTL,
+		HeartbeatInterval: 25 * time.Millisecond,
+		StallWarn:         50 * time.Millisecond,
+		HTTPClient:        httpClient,
+		Logf:              drillLogf(t),
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	results := v.ValidateFleet(ctx, drillEntities(t, fleetSize),
+		configvalidator.FleetOptions{Scheduler: coord})
+
+	stalled := false
+	var all []configvalidator.FleetResult
+	for res := range results {
+		if !stalled {
+			stalled = true
+			// The consumer wedges for 5 lease TTLs while results are in
+			// flight behind it.
+			time.Sleep(5 * leaseTTL)
+		}
+		all = append(all, res)
+	}
+
+	seen := map[string]int{}
+	for _, res := range all {
+		seen[res.Entity]++
+		if res.Err != nil {
+			t.Errorf("entity %s errored during consumer stall: %v", res.Entity, res.Err)
+		}
+	}
+	if len(seen) != fleetSize {
+		t.Fatalf("distinct entities = %d, want %d", len(seen), fleetSize)
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("entity %s counted %d times, want exactly once", name, n)
+		}
+	}
+	if got := summarizeAll(all).String(); got != want {
+		t.Errorf("summary diverged from clean run:\n got: %s\nwant: %s", got, want)
+	}
+	snap := collector.Snapshot()
+	if snap.LeaseReassignments != 0 {
+		t.Errorf("consumer stall cost %d lease reassignments; healthy workers must not be revoked", snap.LeaseReassignments)
+	}
+	if snap.HeartbeatsMissed != 0 {
+		t.Errorf("heartbeats missed = %d during a consumer stall, want 0", snap.HeartbeatsMissed)
+	}
+	if snap.MergeStalls == 0 {
+		t.Error("merge_stalls_total = 0; the stall was never surfaced")
+	}
+
+	// No goroutine leak: with the run drained and idle connections closed,
+	// the goroutine count returns to its pre-run level.
+	httpClient.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines = %d after drain, want <= %d (+3 slack); run leaked goroutines",
+				runtime.NumGoroutine(), before)
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }

@@ -554,3 +554,187 @@ func TestValidateTargetUnknownClassified(t *testing.T) {
 		t.Fatalf("err = %v, want ErrUnknownTarget", err)
 	}
 }
+
+// TestChaosDrillENOSPCByteIdentical is the disk-pressure acceptance drill:
+// ENOSPC at every journal append point of a 50-entity fleet must not change
+// a single finding. Per-entity reports are byte-identical to a clean run's,
+// degradation is accounted exactly — all 50 results flagged, 50 append
+// errors, zero scan errors — and a follow-up run over the same journal file
+// resumes journaling once the disk recovers.
+func TestChaosDrillENOSPCByteIdentical(t *testing.T) {
+	cleanV, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := make(map[string][]byte, chaosFleetSize)
+	var clean []FleetResult
+	for res := range cleanV.ValidateFleet(context.Background(), sendEntities(chaosFleet(chaosFleetSize)...), FleetOptions{Workers: 8}) {
+		if res.Err != nil {
+			t.Fatalf("clean scan of %s: %v", res.Entity, res.Err)
+		}
+		baseline[res.Entity] = reportJSON(t, res.Report)
+		clean = append(clean, res)
+	}
+	cleanSummary := summarizeSlice(clean).String()
+
+	// Degraded run: the disk is full for the entire scan.
+	inj := faults.MustNew(faults.Rule{Op: faults.OpJournalAppend, Kind: faults.KindENOSPC})
+	collector := NewCollector()
+	jpath := filepath.Join(t.TempDir(), "fleet.cvj")
+	j1, err := OpenJournal(jpath, JournalOptions{Faults: inj, Metrics: collector})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := New(WithTelemetry(collector))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []FleetResult
+	for res := range v.ValidateFleet(context.Background(), sendEntities(chaosFleet(chaosFleetSize)...), FleetOptions{Workers: 8, Journal: j1}) {
+		if res.Err != nil {
+			t.Fatalf("degraded-run scan of %s errored: %v (disk pressure must not fail scans)", res.Entity, res.Err)
+		}
+		if !res.JournalDegraded {
+			t.Errorf("result %s not flagged JournalDegraded", res.Entity)
+		}
+		if got := reportJSON(t, res.Report); !bytes.Equal(got, baseline[res.Entity]) {
+			t.Errorf("entity %s: degraded-run report differs from clean-run report", res.Entity)
+		}
+		all = append(all, res)
+	}
+	if len(all) != chaosFleetSize {
+		t.Fatalf("degraded run returned %d results, want %d", len(all), chaosFleetSize)
+	}
+	sum := summarizeSlice(all)
+	if sum.JournalDegraded != chaosFleetSize {
+		t.Errorf("summary journal_degraded = %d, want %d", sum.JournalDegraded, chaosFleetSize)
+	}
+	// Degradation accounted, everything else byte-identical to the clean run.
+	sum.JournalDegraded = 0
+	if got := sum.String(); got != cleanSummary {
+		t.Errorf("degraded summary diverged from clean run beyond the degraded count:\n got: %s\nwant: %s", got, cleanSummary)
+	}
+	if st := j1.Stats(); st.Appends != 0 || st.AppendErrors != chaosFleetSize || !st.Degraded {
+		t.Errorf("journal stats = %+v, want 0 appends, %d errors, degraded", st, chaosFleetSize)
+	}
+	snap := collector.Snapshot()
+	if snap.JournalAppendErrors != chaosFleetSize {
+		t.Errorf("journal_append_errors_total = %d, want %d", snap.JournalAppendErrors, chaosFleetSize)
+	}
+	if !snap.JournalDegraded {
+		t.Error("journal_degraded gauge not set")
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The disk recovers: the same journal file accepts a fault-free run and
+	// journaling resumes in full.
+	collector2 := NewCollector()
+	j2, err := OpenJournal(jpath, JournalOptions{Metrics: collector2})
+	if err != nil {
+		t.Fatalf("reopen after disk pressure: %v", err)
+	}
+	defer func() { _ = j2.Close() }()
+	v2, err := New(WithTelemetry(collector2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second []FleetResult
+	for res := range v2.ValidateFleet(context.Background(), sendEntities(chaosFleet(chaosFleetSize)...), FleetOptions{Workers: 8, Journal: j2}) {
+		if res.Err != nil {
+			t.Fatalf("recovered-run scan of %s: %v", res.Entity, res.Err)
+		}
+		if res.JournalDegraded {
+			t.Errorf("result %s flagged degraded on a healthy disk", res.Entity)
+		}
+		second = append(second, res)
+	}
+	if got := summarizeSlice(second); got.JournalDegraded != 0 {
+		t.Errorf("recovered-run journal_degraded = %d, want 0", got.JournalDegraded)
+	}
+	if st := j2.Stats(); st.Appends != chaosFleetSize || st.Degraded {
+		t.Errorf("recovered journal stats = %+v, want %d appends and healthy", st, chaosFleetSize)
+	}
+}
+
+// TestChaosDrillENOSPCMidRunRecovery drills in-process recovery: only the
+// first append hits ENOSPC, and with a tiny re-probe interval journaling
+// resumes inside the same process lifetime — no reopen, no restart. The
+// timing-independent invariant: every one of the 50 results either
+// journaled or counted an append error, nothing vanished.
+func TestChaosDrillENOSPCMidRunRecovery(t *testing.T) {
+	inj := faults.MustNew(faults.Rule{Op: faults.OpJournalAppend, Kind: faults.KindENOSPC, Times: 1})
+	collector := NewCollector()
+	jpath := filepath.Join(t.TempDir(), "fleet.cvj")
+	j, err := OpenJournal(jpath, JournalOptions{
+		Faults:          inj,
+		Metrics:         collector,
+		ReprobeInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := New(WithTelemetry(collector))
+	if err != nil {
+		t.Fatal(err)
+	}
+	degradedResults := 0
+	for res := range v.ValidateFleet(context.Background(), sendEntities(chaosFleet(chaosFleetSize)...), FleetOptions{Workers: 8, Journal: j}) {
+		if res.Err != nil {
+			t.Fatalf("scan of %s errored under journal fault: %v", res.Entity, res.Err)
+		}
+		if res.JournalDegraded {
+			degradedResults++
+		}
+	}
+	st := j.Stats()
+	if st.Appends+st.AppendErrors != chaosFleetSize {
+		t.Errorf("append accounting leak: appends=%d + errors=%d != %d", st.Appends, st.AppendErrors, chaosFleetSize)
+	}
+	if st.AppendErrors == 0 {
+		t.Error("injected fault never fired")
+	}
+	if int64(degradedResults) != st.AppendErrors {
+		t.Errorf("degraded results = %d, append errors = %d; each failed append must flag exactly one result", degradedResults, st.AppendErrors)
+	}
+
+	// Whatever the scan's timing, the re-probe loop must resume journaling
+	// promptly once the fault is exhausted.
+	deadline := time.Now().Add(10 * time.Second)
+	var aerr error
+	for time.Now().Before(deadline) {
+		if aerr = j.Append(JournalRecord{Entity: "drill-sentinel", Err: "sentinel"}); aerr == nil {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if aerr != nil {
+		t.Fatalf("journal never recovered from a cleared fault: %v", aerr)
+	}
+	if j.Degraded() {
+		t.Error("journal still reports degraded after a successful append")
+	}
+	snap := collector.Snapshot()
+	if snap.JournalReprobes == 0 {
+		t.Error("recovery happened but no re-probe was recorded")
+	}
+	if snap.JournalDegraded {
+		t.Error("journal_degraded gauge still set after recovery")
+	}
+	appends := j.Stats().Appends
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing the degraded episode touched corrupts the file: a reopen
+	// replays every successful append and only those.
+	j2, err := OpenJournal(jpath, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = j2.Close() }()
+	if st := j2.Stats(); st.Replayed != appends || st.CorruptRecords != 0 {
+		t.Errorf("replay = %+v, want %d clean records", st, appends)
+	}
+}

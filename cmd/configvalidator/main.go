@@ -91,7 +91,11 @@ func run(args []string, out io.Writer) error {
 		digest string
 	)
 	if *ckpt != "" {
-		jrnl, err = configvalidator.OpenJournal(*ckpt, configvalidator.JournalOptions{})
+		jrnl, err = configvalidator.OpenJournal(*ckpt, configvalidator.JournalOptions{
+			OnDegraded: func(derr error) {
+				fmt.Fprintf(os.Stderr, "configvalidator: checkpoint journal degraded, result not persisted (validation continues): %v\n", derr)
+			},
+		})
 		if err != nil {
 			return err
 		}

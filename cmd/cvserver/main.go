@@ -47,6 +47,7 @@ import (
 	configvalidator "configvalidator"
 	"configvalidator/internal/dist"
 	"configvalidator/internal/fixtures"
+	"configvalidator/internal/fsutil"
 	"configvalidator/internal/server"
 )
 
@@ -200,10 +201,20 @@ type coordinateConfig struct {
 // the same fleet, which is what the worker-kill CI smoke asserts.
 func runCoordinate(cfg coordinateConfig) error {
 	collector := configvalidator.NewCollector()
-	v, err := configvalidator.New(
+	vopts := []configvalidator.Option{
 		configvalidator.WithTelemetry(collector),
 		configvalidator.WithParallelism(cfg.parallelism),
-	)
+	}
+	inj, err := configvalidator.FaultsFromEnv()
+	if err != nil {
+		return err
+	}
+	if inj != nil {
+		fmt.Fprintln(os.Stderr, "cvserver: fault injection armed via CV_FAULTS")
+		vopts = append(vopts, configvalidator.WithFaults(inj))
+		fsutil.ArmFaults(inj)
+	}
+	v, err := configvalidator.New(vopts...)
 	if err != nil {
 		return err
 	}
@@ -214,7 +225,16 @@ func runCoordinate(cfg coordinateConfig) error {
 		Retries:     cfg.scanRetries,
 	}
 	if cfg.journalPath != "" {
-		jrnl, err := configvalidator.OpenJournal(cfg.journalPath, configvalidator.JournalOptions{Metrics: collector})
+		jrnl, err := configvalidator.OpenJournal(cfg.journalPath, configvalidator.JournalOptions{
+			Metrics: collector,
+			Faults:  inj,
+			OnDegraded: func(derr error) {
+				fmt.Fprintf(os.Stderr, "cvserver: coordinator journal degraded, results no longer persisted (scan continues): %v\n", derr)
+			},
+			OnRecovered: func() {
+				fmt.Fprintln(os.Stderr, "cvserver: coordinator journal recovered")
+			},
+		})
 		if err != nil {
 			return err
 		}
@@ -260,9 +280,10 @@ func runCoordinate(cfg coordinateConfig) error {
 	snap := collector.Snapshot()
 	if len(workerURLs) > 0 {
 		fmt.Fprintf(os.Stderr,
-			"cvserver: shards dispatched=%d completed=%d lease_reassignments=%d heartbeats_missed=%d duplicates_dropped=%d rpc_retries=%d\n",
+			"cvserver: shards dispatched=%d completed=%d lease_reassignments=%d heartbeats_missed=%d duplicates_dropped=%d rpc_retries=%d journal_append_errors=%d merge_stalls=%d\n",
 			snap.ShardsDispatched, snap.ShardsCompleted, snap.LeaseReassignments,
-			snap.HeartbeatsMissed, snap.DuplicateResults, snap.WorkerRPCRetries)
+			snap.HeartbeatsMissed, snap.DuplicateResults, snap.WorkerRPCRetries,
+			snap.JournalAppendErrors, snap.MergeStalls)
 	}
 	if summary.Errors > 0 {
 		return fmt.Errorf("fleet completed with %d errored entities", summary.Errors)

@@ -28,6 +28,7 @@ import (
 	configvalidator "configvalidator"
 	"configvalidator/internal/entity"
 	"configvalidator/internal/frames"
+	"configvalidator/internal/fsutil"
 	"configvalidator/internal/output"
 )
 
@@ -70,11 +71,16 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 	if *cacheSize > 0 {
 		vopts = append(vopts, configvalidator.WithParseCache(configvalidator.NewParseCache(*cacheSize)))
 	}
-	if inj, err := configvalidator.FaultsFromEnv(); err != nil {
+	inj, err := configvalidator.FaultsFromEnv()
+	if err != nil {
 		return err
-	} else if inj != nil {
+	}
+	if inj != nil {
 		fmt.Fprintln(errOut, "cvwatch: fault injection armed via CV_FAULTS")
 		vopts = append(vopts, configvalidator.WithFaults(inj))
+		// Atomic writes (journal compaction) run outside the validator;
+		// arm them process-wide so disk-pressure drills cover them too.
+		fsutil.ArmFaults(inj)
 	}
 	v, err := configvalidator.New(vopts...)
 	if err != nil {
@@ -120,7 +126,16 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 	// journal at one record per watched entity.
 	var jrnl *configvalidator.Journal
 	if *checkpoint != "" {
-		jrnl, err = configvalidator.OpenJournal(*checkpoint, configvalidator.JournalOptions{Metrics: collector})
+		jrnl, err = configvalidator.OpenJournal(*checkpoint, configvalidator.JournalOptions{
+			Metrics: collector,
+			Faults:  inj,
+			OnDegraded: func(derr error) {
+				fmt.Fprintf(errOut, "cvwatch: checkpoint journal degraded, baseline no longer persisted (watch continues): %v\n", derr)
+			},
+			OnRecovered: func() {
+				fmt.Fprintf(errOut, "cvwatch: checkpoint journal recovered, baseline persistence resumed\n")
+			},
+		})
 		if err != nil {
 			return err
 		}
@@ -129,8 +144,10 @@ func run(ctx context.Context, args []string, out, errOut io.Writer) error {
 			previous = rec.Report.Report()
 			fmt.Fprintf(errOut, "cvwatch: baseline for %s restored from %s\n", rec.Entity, *checkpoint)
 		}
-		if err := jrnl.Compact(); err != nil {
-			return err
+		// Startup compaction is an optimization; a full disk must not kill
+		// the watch. The journal just replays more records next restart.
+		if cerr := jrnl.Compact(); cerr != nil {
+			fmt.Fprintf(errOut, "cvwatch: checkpoint compaction skipped: %v\n", cerr)
 		}
 	}
 

@@ -32,6 +32,7 @@ import (
 	configvalidator "configvalidator"
 	"configvalidator/internal/entity"
 	"configvalidator/internal/fixtures"
+	"configvalidator/internal/fsutil"
 )
 
 // panicky simulates an entity that crashes the crawler — a malformed
@@ -65,7 +66,17 @@ func main() {
 	flag.Parse()
 
 	collector := configvalidator.NewCollector()
-	v, err := configvalidator.New(configvalidator.WithTelemetry(collector))
+	vopts := []configvalidator.Option{configvalidator.WithTelemetry(collector)}
+	inj, err := configvalidator.FaultsFromEnv()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if inj != nil {
+		fmt.Fprintln(os.Stderr, "fleetscan: fault injection armed via CV_FAULTS")
+		vopts = append(vopts, configvalidator.WithFaults(inj))
+		fsutil.ArmFaults(inj)
+	}
+	v, err := configvalidator.New(vopts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,7 +88,16 @@ func main() {
 	}
 	var jrnl *configvalidator.Journal
 	if *checkpoint != "" {
-		jrnl, err = configvalidator.OpenJournal(*checkpoint, configvalidator.JournalOptions{Metrics: collector})
+		jrnl, err = configvalidator.OpenJournal(*checkpoint, configvalidator.JournalOptions{
+			Metrics: collector,
+			Faults:  inj,
+			OnDegraded: func(derr error) {
+				fmt.Fprintf(os.Stderr, "fleetscan: journal degraded, results no longer persisted (scan continues): %v\n", derr)
+			},
+			OnRecovered: func() {
+				fmt.Fprintln(os.Stderr, "fleetscan: journal recovered, persistence resumed")
+			},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -147,8 +167,8 @@ func main() {
 	}
 	if jrnl != nil {
 		st := jrnl.Stats()
-		fmt.Printf("\nJournal %s: appends=%d replayed=%d corrupt=%d entities=%d\n",
-			jrnl.Path(), st.Appends, st.Replayed, st.CorruptRecords, st.Entities)
+		fmt.Printf("\nJournal %s: appends=%d append_errors=%d replayed=%d corrupt=%d entities=%d degraded=%v\n",
+			jrnl.Path(), st.Appends, st.AppendErrors, st.Replayed, st.CorruptRecords, st.Entities, st.Degraded)
 	}
 
 	s := collector.Snapshot()

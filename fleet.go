@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -45,6 +46,12 @@ type FleetResult struct {
 	// Purely informational: Summarize ignores it, so a distributed run's
 	// summary digest stays byte-identical to a single-process run's.
 	Worker string
+	// JournalDegraded reports that this result could not be persisted to
+	// the run's journal (disk full, I/O fault): the result itself is
+	// complete and correct, but a crash before the journal recovers would
+	// re-scan this entity. Summarize tallies these so a degraded run is
+	// visible in the summary, not silently less durable.
+	JournalDegraded bool
 }
 
 // Scheduler is the execution-substrate seam for fleet validation: it
@@ -93,6 +100,23 @@ type FleetOptions struct {
 	// worker pool. A distributed run sets it to a dist.Coordinator, which
 	// shards the entity stream across remote cvworkers.
 	Scheduler Scheduler
+	// Logf receives rare operator-facing messages — today only the
+	// one-shot "journal degraded" notice when results stop persisting.
+	// Nil writes to standard error.
+	Logf func(format string, args ...any)
+
+	// journalLogOnce deduplicates the degraded-journal operator notice
+	// for one run; the local scheduler installs it before fan-out.
+	journalLogOnce *sync.Once
+}
+
+// logf routes an operator message to Logf or standard error.
+func (o FleetOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+		return
+	}
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
 }
 
 const (
@@ -165,6 +189,7 @@ func (localScheduler) Schedule(ctx context.Context, v *Validator, entities <-cha
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	opts.journalLogOnce = new(sync.Once)
 	results := make(chan FleetResult)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -234,8 +259,17 @@ func (v *Validator) scanJournaled(ctx context.Context, ent Entity, opts FleetOpt
 		}
 	}
 	// An append failure (disk full) must not fail the scan: the result is
-	// still delivered in-memory; the journal's own stats count the error.
-	_ = opts.Journal.Append(rec)
+	// still delivered in-memory. But it must not be silent either — count
+	// it, mark the result, and tell the operator once per run.
+	if err := opts.Journal.Append(rec); err != nil {
+		v.telemetry.JournalAppendError()
+		res.JournalDegraded = true
+		if opts.journalLogOnce != nil {
+			opts.journalLogOnce.Do(func() {
+				opts.logf("fleet: journal degraded, results no longer persisted (scan continues): %v", err)
+			})
+		}
+	}
 	return res
 }
 
@@ -435,6 +469,10 @@ type FleetSummary struct {
 	// the scan completed but some checks ran on incomplete input data
 	// (unreadable files, panicking lenses or rules).
 	EntitiesDegraded int
+	// JournalDegraded counts results that could not be persisted to the
+	// run's journal (disk full, I/O fault). The findings are unaffected;
+	// only crash-resume coverage for those entities is lost.
+	JournalDegraded int
 }
 
 // Summarize drains a fleet-result channel into a summary.
@@ -444,6 +482,9 @@ func Summarize(results <-chan FleetResult) FleetSummary {
 		ErrorsByKind: make(map[string]int, 4),
 	}
 	for res := range results {
+		if res.JournalDegraded {
+			out.JournalDegraded++
+		}
 		if res.Err != nil {
 			out.Errors++
 			out.ErrorsByKind[ClassifyScanError(res.Err)]++
@@ -475,11 +516,12 @@ func Summarize(results <-chan FleetResult) FleetSummary {
 // run's, which is what the kill-and-resume CI smoke compares.
 func (s FleetSummary) String() string {
 	return fmt.Sprintf(
-		"scanned=%d errors=%d err_timeout=%d err_panic=%d err_cancelled=%d err_revoked=%d err_permanent=%d entities_with_findings=%d entities_with_errors=%d entities_degraded=%d pass=%d fail=%d n/a=%d rule_errors=%d degraded=%d",
+		"scanned=%d errors=%d err_timeout=%d err_panic=%d err_cancelled=%d err_revoked=%d err_permanent=%d entities_with_findings=%d entities_with_errors=%d entities_degraded=%d pass=%d fail=%d n/a=%d rule_errors=%d degraded=%d journal_degraded=%d",
 		s.Scanned, s.Errors,
 		s.ErrorsByKind[ErrorKindTimeout], s.ErrorsByKind[ErrorKindPanic],
 		s.ErrorsByKind[ErrorKindCancelled], s.ErrorsByKind[ErrorKindRevoked], s.ErrorsByKind[ErrorKindPermanent],
 		s.EntitiesWithFindings, s.EntitiesWithErrors, s.EntitiesDegraded,
 		s.ByStatus[StatusPass], s.ByStatus[StatusFail],
-		s.ByStatus[StatusNotApplicable], s.ByStatus[StatusError], s.ByStatus[StatusDegraded])
+		s.ByStatus[StatusNotApplicable], s.ByStatus[StatusError], s.ByStatus[StatusDegraded],
+		s.JournalDegraded)
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"configvalidator/internal/entity"
+	"configvalidator/internal/faults"
 	"configvalidator/internal/fixtures"
 	"configvalidator/internal/pkgdb"
 )
@@ -953,5 +954,129 @@ func TestFleetMetricsExposition(t *testing.T) {
 	}
 	if snap.LeaseReassignments != 1 {
 		t.Errorf("LeaseReassignments = %d, want 1", snap.LeaseReassignments)
+	}
+}
+
+// TestClassifyScanErrorWrappedChains pins classification over realistic
+// nested chains: sentinels and carried kinds must survive any number of
+// fmt.Errorf("%w", ...) layers, context.Cause plumbing, and the fault
+// injector's error type.
+func TestClassifyScanErrorWrappedChains(t *testing.T) {
+	// A carried kind buried two wraps deep.
+	deepKinded := fmt.Errorf("retry exhausted: %w", fmt.Errorf("shard 3: %w", &kindedErr{kind: ErrorKindRevoked}))
+	if got := ClassifyScanError(deepKinded); got != ErrorKindRevoked {
+		t.Errorf("nested ErrorKinder = %q, want %q", got, ErrorKindRevoked)
+	}
+
+	// A lease revocation delivered as a cancellation cause: the scheduler
+	// cancels with context.WithCancelCause(ErrLeaseRevoked) and the scan
+	// error wraps context.Cause(ctx).
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(ErrLeaseRevoked)
+	viaCause := fmt.Errorf("scan img:v3: %w", context.Cause(ctx))
+	if got := ClassifyScanError(viaCause); got != ErrorKindRevoked {
+		t.Errorf("cause-wrapped revocation = %q, want %q", got, ErrorKindRevoked)
+	}
+
+	// Plain cancellation through the same path stays "cancelled".
+	ctx2, cancel2 := context.WithCancelCause(context.Background())
+	cancel2(nil) // cause defaults to context.Canceled
+	viaCancel := fmt.Errorf("scan img:v4: %w", context.Cause(ctx2))
+	if got := ClassifyScanError(viaCancel); got != ErrorKindCancelled {
+		t.Errorf("cause-wrapped cancellation = %q, want %q", got, ErrorKindCancelled)
+	}
+
+	// The timeout sentinel nested twice.
+	deepTimeout := fmt.Errorf("scan img:v5: %w", fmt.Errorf("attempt 2: %w", ErrScanTimeout))
+	if got := ClassifyScanError(deepTimeout); got != ErrorKindTimeout {
+		t.Errorf("nested timeout = %q, want %q", got, ErrorKindTimeout)
+	}
+
+	// Injected faults (wrapped): permanent errors retrying will not fix.
+	inj := faults.MustNew(faults.Rule{Op: faults.OpRead, Kind: faults.KindError})
+	_, injErr := inj.Apply(faults.OpRead, "/etc/ssh/sshd_config", nil)
+	wrappedInj := fmt.Errorf("scan img:v6: %w", injErr)
+	var ie *faults.InjectedError
+	if !errors.As(wrappedInj, &ie) {
+		t.Fatalf("injected error lost in wrap: %v", wrappedInj)
+	}
+	if got := ClassifyScanError(wrappedInj); got != ErrorKindPermanent {
+		t.Errorf("wrapped injected error = %q, want %q", got, ErrorKindPermanent)
+	}
+	// A transient injected fault that exhausted its retries is still
+	// permanent at classification time — retryability is not a kind.
+	trans := faults.MustNew(faults.Rule{Op: faults.OpRead, Kind: faults.KindTransient})
+	_, transErr := trans.Apply(faults.OpRead, "/f", nil)
+	if got := ClassifyScanError(fmt.Errorf("scan: %w", transErr)); got != ErrorKindPermanent {
+		t.Errorf("wrapped transient injected error = %q, want %q", got, ErrorKindPermanent)
+	}
+	// An ErrorKinder nested beneath another wrapper still outranks the
+	// sentinel checks below it in the switch.
+	kindedOverTimeout := fmt.Errorf("%w: %w", &kindedErr{kind: ErrorKindPermanent}, ErrScanTimeout)
+	if got := ClassifyScanError(kindedOverTimeout); got != ErrorKindPermanent {
+		t.Errorf("kinded+timeout = %q, want kinded to win: got %q", ErrorKindPermanent, got)
+	}
+}
+
+// TestJournalDegradedExposition drives a real fleet scan against a
+// journal whose disk is "full" and asserts the degradation surfaces
+// everywhere the ISSUE promises: the per-result flag, the summary line,
+// and the Prometheus exposition under the contract metric names.
+func TestJournalDegradedExposition(t *testing.T) {
+	collector := NewCollector()
+	v, err := New(WithTelemetry(collector))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.MustNew(faults.Rule{Op: faults.OpJournalAppend, Kind: faults.KindENOSPC})
+	jrnl, err := OpenJournal(filepath.Join(t.TempDir(), "fleet.cvj"),
+		JournalOptions{Faults: inj, Metrics: collector})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jrnl.Close()
+
+	const n = 6
+	var logged int
+	sum := Summarize(v.ValidateFleet(context.Background(), feedFleet(t, n, 0.5), FleetOptions{
+		Workers: 2,
+		Journal: jrnl,
+		Logf:    func(string, ...any) { logged++ },
+	}))
+	if sum.Scanned != n || sum.Errors != 0 {
+		t.Fatalf("summary = %+v: journal degradation must not fail scans", sum)
+	}
+	if sum.JournalDegraded != n {
+		t.Errorf("JournalDegraded = %d, want %d (every append failed)", sum.JournalDegraded, n)
+	}
+	if !strings.Contains(sum.String(), fmt.Sprintf("journal_degraded=%d", n)) {
+		t.Errorf("summary digest %q missing journal_degraded=%d", sum.String(), n)
+	}
+	if logged != 1 {
+		t.Errorf("operator log fired %d times, want exactly 1 per run", logged)
+	}
+	if !jrnl.Degraded() {
+		t.Error("journal not degraded after ENOSPC appends")
+	}
+
+	var buf bytes.Buffer
+	if err := collector.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		fmt.Sprintf("configvalidator_journal_append_errors_total %d", n),
+		"configvalidator_journal_degraded 1",
+		"configvalidator_journal_reprobes_total 0",
+		"configvalidator_merge_stalls_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	snap := collector.Snapshot()
+	if snap.JournalAppendErrors != n || !snap.JournalDegraded {
+		t.Errorf("snapshot journal counters = append_errors=%d degraded=%v, want %d/true",
+			snap.JournalAppendErrors, snap.JournalDegraded, n)
 	}
 }

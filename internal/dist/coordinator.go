@@ -51,6 +51,13 @@ type Options struct {
 	// 0 means 100ms. Successive probes use the fleet's decorrelated
 	// jitter, capped at 5s.
 	ProbeBackoff time.Duration
+	// StallWarn is how long a merged result may block on the FleetResult
+	// consumer before the coordinator counts a merge stall and logs; 0
+	// means 1s. Backpressure from a slow consumer is legitimate — shard
+	// streams simply stop being read — but a stall past this threshold is
+	// surfaced so operators can tell "consumer stalled" from "workers
+	// slow".
+	StallWarn time.Duration
 	// CaptureRoots restricts frame capture to these path roots; empty
 	// captures the whole entity. In-memory entities (images, frames) are
 	// cheap to capture whole; for OS-backed entities set this to the
@@ -87,6 +94,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ProbeBackoff <= 0 {
 		o.ProbeBackoff = 100 * time.Millisecond
+	}
+	if o.StallWarn <= 0 {
+		o.StallWarn = time.Second
 	}
 	if o.HTTPClient == nil {
 		o.HTTPClient = &http.Client{}
@@ -144,6 +154,12 @@ type shard struct {
 	id      string
 	attempt int
 	items   []item
+	// noSegment marks the shard resume-unavailable: the worker could not
+	// open (507) or keep writing (degraded-journal) its journal segment,
+	// so further dispatches of this shard skip worker-side resume rather
+	// than hit the same full disk again. Results are unaffected — the
+	// segment only accelerates re-leases.
+	noSegment bool
 }
 
 // payload concatenates the shard's request-body lines.
@@ -180,6 +196,14 @@ type run struct {
 	// name, first writer wins.
 	mu      sync.Mutex
 	emitted map[string]bool
+
+	// stallWarn and logf come from the coordinator's Options; jrnlOnce and
+	// stallOnce gate the one-shot operator logs for coordinator-journal
+	// degradation and the first merge stall.
+	stallWarn time.Duration
+	logf      func(format string, args ...any)
+	jrnlOnce  sync.Once
+	stallOnce sync.Once
 }
 
 // emit delivers one result exactly once, journaling it like a local run
@@ -204,14 +228,39 @@ func (r *run) emit(res configvalidator.FleetResult, digest string) {
 			rec.Report = journal.NewReportRecord(res.Report)
 			rec.Digest = digest
 		}
-		// Append failures (disk full) must not fail the scan; the journal's
-		// own stats count them.
-		_ = r.fopts.Journal.Append(rec)
+		// Append failures (disk full) must not fail the scan: count them,
+		// mark the result so the summary reports the lost durability, and
+		// tell the operator once — the journal's re-probe loop owns recovery.
+		if err := r.fopts.Journal.Append(rec); err != nil {
+			r.metrics.JournalAppendError()
+			res.JournalDegraded = true
+			r.jrnlOnce.Do(func() {
+				r.logf("dist: coordinator journal degraded, results no longer persisted (scan continues): %v", err)
+			})
+		}
 	}
-	select {
-	case r.results <- res:
-	case <-r.ctx.Done():
-		r.metrics.ScanAbandoned()
+	// Delivery blocks when the consumer is slow — that is the backpressure
+	// path: this goroutine stops reading its shard stream, the worker
+	// blocks writing, and no new work is pulled. A stall past StallWarn is
+	// counted and logged so operators can tell a stuck consumer from slow
+	// workers; the lease watchdog excludes this wait (see leaseShard).
+	stall := time.NewTimer(r.stallWarn)
+	defer stall.Stop()
+	stallC := stall.C
+	for {
+		select {
+		case r.results <- res:
+			return
+		case <-stallC:
+			r.metrics.MergeStalled()
+			r.stallOnce.Do(func() {
+				r.logf("dist: merge stalled: FleetResult consumer has not accepted a result for %v (backpressure holding shard streams)", r.stallWarn)
+			})
+			stallC = nil // count each stalled delivery once, then wait
+		case <-r.ctx.Done():
+			r.metrics.ScanAbandoned()
+			return
+		}
 	}
 }
 
@@ -250,6 +299,8 @@ func (c *Coordinator) Schedule(ctx context.Context, v *configvalidator.Validator
 		noWorkers: make(chan struct{}),
 	}
 	r.emitted = make(map[string]bool)
+	r.stallWarn = c.opts.StallWarn
+	r.logf = c.opts.Logf
 	r.live.Store(int64(len(c.workers)))
 	for _, w := range c.workers {
 		r.ready <- w
@@ -409,7 +460,7 @@ func (c *Coordinator) runShard(r *run, v *configvalidator.Validator, w string, s
 		return
 	}
 	r.metrics.LeaseReassigned()
-	ns := &shard{id: s.id, attempt: s.attempt + 1, items: rest}
+	ns := &shard{id: s.id, attempt: s.attempt + 1, items: rest, noSegment: s.noSegment}
 	c.opts.Logf("dist: reassigning shard %s (attempt %d, %d entities left)", ns.id, ns.attempt+1, len(ns.items))
 	// Requeue off the dispatcher goroutine; the queue cannot close under us
 	// because our wg slot (carried over to ns) holds the closer back.
@@ -472,22 +523,38 @@ func (c *Coordinator) leaseShard(r *run, w string, s *shard) error {
 				}
 				return fmt.Errorf("shard stream ended early: %w", err)
 			}
-			if !watchdog.Stop() {
-				<-watchdog.C
-			}
-			watchdog.Reset(c.opts.LeaseTTL)
 			var rec StreamRecord
 			if err := json.Unmarshal(line, &rec); err != nil {
 				return fmt.Errorf("bad stream record: %w", err)
 			}
 			switch rec.Type {
 			case TypeHeartbeat:
-				// Liveness only; the watchdog reset above is its entire job.
+				// Liveness only; the watchdog reset below is its entire job.
 			case TypeResult:
 				r.emit(c.remoteResult(w, rec), rec.Digest)
+			case TypeDegradedJournal:
+				// The worker's journal segment stopped accepting writes. The
+				// scan continues and the lease stays healthy; only worker-side
+				// resume is lost, so mark the shard accordingly for any
+				// future re-dispatch.
+				s.noSegment = true
+				c.opts.Logf("dist: worker %s journal segment for shard %s degraded (%s); shard resume unavailable, lease continues",
+					w, s.id, rec.Err)
 			case TypeDone:
 				return nil
 			}
+			// Reset only after the record is fully processed: time spent
+			// blocked in emit is consumer backpressure, not worker silence,
+			// and must not count against the lease. The non-blocking drain
+			// discards a watchdog that fired during the stall — the worker
+			// already proved liveness by producing this line.
+			if !watchdog.Stop() {
+				select {
+				case <-watchdog.C:
+				default:
+				}
+			}
+			watchdog.Reset(c.opts.LeaseTTL)
 		case <-watchdog.C:
 			// Lease expired: no heartbeat, no result, nothing — revoke.
 			r.metrics.HeartbeatMissed()
@@ -525,14 +592,17 @@ func (c *Coordinator) remoteResult(w string, rec StreamRecord) configvalidator.F
 // the worker's own admission control. Connection-level errors and other
 // statuses return immediately as lease failures.
 func (c *Coordinator) dispatch(r *run, leaseCtx context.Context, w string, s *shard) (*http.Response, error) {
-	u := fmt.Sprintf("%s/v1/shard/scan?shard=%s&heartbeat=%s&timeout=%s&retries=%d",
-		w, url.QueryEscape(s.id),
-		url.QueryEscape(c.opts.HeartbeatInterval.String()),
-		url.QueryEscape(r.fopts.ScanTimeout.String()),
-		r.fopts.Retries)
 	payload := s.payload()
 	backoff := c.opts.ProbeBackoff
 	for attempt := 0; ; attempt++ {
+		u := fmt.Sprintf("%s/v1/shard/scan?shard=%s&heartbeat=%s&timeout=%s&retries=%d",
+			w, url.QueryEscape(s.id),
+			url.QueryEscape(c.opts.HeartbeatInterval.String()),
+			url.QueryEscape(r.fopts.ScanTimeout.String()),
+			r.fopts.Retries)
+		if s.noSegment {
+			u += "&segment=0"
+		}
 		req, err := http.NewRequestWithContext(leaseCtx, http.MethodPost, u, bytes.NewReader(payload))
 		if err != nil {
 			return nil, fmt.Errorf("build shard request: %w", err)
@@ -545,6 +615,20 @@ func (c *Coordinator) dispatch(r *run, leaseCtx context.Context, w string, s *sh
 		switch resp.StatusCode {
 		case http.StatusOK:
 			return resp, nil
+		case http.StatusInsufficientStorage:
+			// 507: the worker cannot open its journal segment (disk
+			// pressure). The scan itself needs no segment — retry at once
+			// with worker-side resume disabled, keeping the lease. A second
+			// 507 means the worker rejects even segment-less work; fall
+			// through to a lease failure then.
+			_ = resp.Body.Close()
+			if s.noSegment {
+				return nil, fmt.Errorf("worker out of disk even without a journal segment: %s", resp.Status)
+			}
+			s.noSegment = true
+			r.metrics.WorkerRPCRetry()
+			c.opts.Logf("dist: worker %s cannot open journal segment for shard %s (disk pressure); retrying without worker-side resume",
+				w, s.id)
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusConflict:
 			// 429/503: the worker is shedding load. 409: its journal segment
 			// for this shard is still flock-held by a previous, revoked lease

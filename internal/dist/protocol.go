@@ -63,6 +63,11 @@ const (
 	// TypeDone is the trailer after the final result; its absence tells
 	// the coordinator the stream was cut short.
 	TypeDone = "done"
+	// TypeDegradedJournal reports that the worker's journal segment for
+	// this shard stopped accepting writes (disk pressure); the scan
+	// continues and results keep streaming, but worker-side resume is no
+	// longer available for the shard. Emitted at most once per stream.
+	TypeDegradedJournal = "degraded-journal"
 )
 
 // StreamRecord is one response line from a worker.

@@ -21,9 +21,11 @@ package faults
 import (
 	"errors"
 	"fmt"
+	"io"
 	pathpkg "path"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -44,6 +46,22 @@ const (
 	OpParse Op = "parse"
 	// OpEval is the evaluation of one rule; the path is "entity/rule".
 	OpEval Op = "eval"
+
+	// Write-path interception points: the durability half of the
+	// pipeline. Disk exhaustion and I/O faults hit appends, fsyncs, and
+	// atomic artifact writes in production; these ops make them
+	// reproducible (see docs/OPERATIONS.md, "Disk pressure & degraded
+	// journaling").
+
+	// OpJournalAppend is one record append to a result journal.
+	OpJournalAppend Op = "journal-append"
+	// OpFsync is an fsync of a journal or artifact file.
+	OpFsync Op = "fsync"
+	// OpAtomicWrite is fsutil.WriteAtomic's data write (checkpoints,
+	// compacted journals, baseline artifacts).
+	OpAtomicWrite Op = "atomic-write"
+	// OpSegmentWrite is a worker-side shard journal segment append.
+	OpSegmentWrite Op = "segment-write"
 )
 
 // Kind selects what a triggered rule does.
@@ -66,6 +84,20 @@ const (
 	KindCorrupt Kind = "corrupt"
 	// KindPanic panics, exercising panic-isolation paths.
 	KindPanic Kind = "panic"
+
+	// Write-path fault kinds. Each injects an error whose chain contains
+	// the matching OS errno (or io.ErrShortWrite), so callers that branch
+	// on errors.Is(err, syscall.ENOSPC) see exactly what a real kernel
+	// failure produces.
+
+	// KindENOSPC injects an error wrapping syscall.ENOSPC — disk full.
+	KindENOSPC Kind = "enospc"
+	// KindEIO injects an error wrapping syscall.EIO — a failing device.
+	KindEIO Kind = "eio"
+	// KindShortWrite truncates the operation's data to Bytes bytes
+	// (default: half) AND injects an error wrapping io.ErrShortWrite, so
+	// write paths observe a genuinely torn partial write.
+	KindShortWrite Kind = "short-write"
 )
 
 // ErrInjected is the sentinel every injected error wraps, so tests and
@@ -84,19 +116,33 @@ type InjectedError struct {
 	Msg string
 	// IsTransient marks the fault retryable.
 	IsTransient bool
+	// Under is the OS-level error this fault simulates (syscall.ENOSPC,
+	// syscall.EIO, io.ErrShortWrite), nil for plain injected errors. It
+	// is part of the Unwrap chain so errors.Is sees the real errno.
+	Under error
 }
 
 // Error implements error.
 func (e *InjectedError) Error() string {
 	msg := e.Msg
+	if msg == "" && e.Under != nil {
+		msg = e.Under.Error()
+	}
 	if msg == "" {
 		msg = "injected fault"
 	}
 	return fmt.Sprintf("%s (at %s %s)", msg, e.Op, e.Path)
 }
 
-// Unwrap lets errors.Is(err, ErrInjected) identify synthetic faults.
-func (e *InjectedError) Unwrap() error { return ErrInjected }
+// Unwrap lets errors.Is(err, ErrInjected) identify synthetic faults and,
+// for write-path kinds, errors.Is(err, syscall.ENOSPC) (etc.) see the
+// simulated errno.
+func (e *InjectedError) Unwrap() []error {
+	if e.Under == nil {
+		return []error{ErrInjected}
+	}
+	return []error{ErrInjected, e.Under}
+}
 
 // Temporary reports whether the fault should classify as transient.
 func (e *InjectedError) Temporary() bool { return e.IsTransient }
@@ -203,12 +249,14 @@ func New(rules ...Rule) (*Injector, error) {
 			r.Kind = KindError
 		}
 		switch r.Kind {
-		case KindError, KindTransient, KindShort, KindLatency, KindCorrupt, KindPanic:
+		case KindError, KindTransient, KindShort, KindLatency, KindCorrupt, KindPanic,
+			KindENOSPC, KindEIO, KindShortWrite:
 		default:
 			return nil, fmt.Errorf("faults: rule %d: unknown kind %q", i, r.Kind)
 		}
 		switch r.Op {
-		case OpRead, OpWalk, OpStat, OpFeature, OpParse, OpEval:
+		case OpRead, OpWalk, OpStat, OpFeature, OpParse, OpEval,
+			OpJournalAppend, OpFsync, OpAtomicWrite, OpSegmentWrite:
 		default:
 			return nil, fmt.Errorf("faults: rule %d: unknown op %q", i, r.Op)
 		}
@@ -282,6 +330,21 @@ func (i *Injector) Apply(op Op, path string, data []byte) ([]byte, error) {
 			}
 		case KindTransient:
 			return data, &InjectedError{Op: op, Path: path, Msg: r.Msg, IsTransient: true}
+		case KindENOSPC:
+			// Not IsTransient: ENOSPC only clears when space is freed, so
+			// the journal's re-probe loop owns recovery, not scan retries.
+			return data, &InjectedError{Op: op, Path: path, Msg: r.Msg, Under: syscall.ENOSPC}
+		case KindEIO:
+			return data, &InjectedError{Op: op, Path: path, Msg: r.Msg, Under: syscall.EIO}
+		case KindShortWrite:
+			n := r.Bytes
+			if n <= 0 || n >= len(data) {
+				n = len(data) / 2
+			}
+			if data != nil && n >= 0 && n < len(data) {
+				data = data[:n]
+			}
+			return data, &InjectedError{Op: op, Path: path, Msg: r.Msg, Under: io.ErrShortWrite}
 		default: // KindError
 			return data, &InjectedError{Op: op, Path: path, Msg: r.Msg}
 		}

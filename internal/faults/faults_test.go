@@ -3,6 +3,8 @@ package faults_test
 import (
 	"bytes"
 	"errors"
+	"io"
+	"syscall"
 	"testing"
 	"time"
 
@@ -245,6 +247,86 @@ func TestParseSpec(t *testing.T) {
 	}
 	if errs != 2 {
 		t.Errorf("every=5 over 10 calls fired %d times, want 2", errs)
+	}
+}
+
+// TestWritePathKinds covers the disk-pressure fault kinds: each injected
+// error must carry the matching OS errno in its Unwrap chain (callers
+// branch on errors.Is(err, syscall.ENOSPC)), and short-write must hand
+// back genuinely truncated data alongside the error.
+func TestWritePathKinds(t *testing.T) {
+	payload := []byte("0123456789abcdef")
+	inj := faults.MustNew(
+		faults.Rule{Op: faults.OpJournalAppend, Kind: faults.KindENOSPC},
+		faults.Rule{Op: faults.OpFsync, Kind: faults.KindEIO},
+		faults.Rule{Op: faults.OpSegmentWrite, Kind: faults.KindShortWrite, Bytes: 5},
+		faults.Rule{Op: faults.OpAtomicWrite, Kind: faults.KindShortWrite}, // default: half
+	)
+
+	_, enospc := inj.Apply(faults.OpJournalAppend, "/var/lib/cv/results.cvj", payload)
+	if !errors.Is(enospc, syscall.ENOSPC) {
+		t.Errorf("enospc kind: errors.Is(err, syscall.ENOSPC) = false for %v", enospc)
+	}
+	if !errors.Is(enospc, faults.ErrInjected) {
+		t.Errorf("enospc kind does not wrap ErrInjected: %v", enospc)
+	}
+	if engine.Transient(enospc) {
+		t.Error("ENOSPC classified transient; recovery belongs to the re-probe loop, not scan retries")
+	}
+
+	eio := inj.Check(faults.OpFsync, "/var/lib/cv/results.cvj")
+	if !errors.Is(eio, syscall.EIO) || !errors.Is(eio, faults.ErrInjected) {
+		t.Errorf("eio kind chain wrong: %v", eio)
+	}
+
+	short, err := inj.Apply(faults.OpSegmentWrite, "/seg/abc.cvj", payload)
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Errorf("short-write kind: errors.Is(err, io.ErrShortWrite) = false for %v", err)
+	}
+	if string(short) != "01234" {
+		t.Errorf("short-write bytes=5 returned %q, want %q", short, "01234")
+	}
+
+	half, err := inj.Apply(faults.OpAtomicWrite, "/tmp/ckpt", payload)
+	if !errors.Is(err, io.ErrShortWrite) || len(half) != len(payload)/2 {
+		t.Errorf("short-write default = %q (%v), want half of %d bytes", half, err, len(payload))
+	}
+}
+
+// TestParseSpecWritePath pins the CV_FAULTS grammar for the write-path
+// ops/kinds that the ENOSPC CI smoke and the chaos drills rely on.
+func TestParseSpecWritePath(t *testing.T) {
+	inj, err := faults.Parse("op=journal-append kind=enospc after=2; op=segment-write kind=eio; op=fsync kind=short-write bytes=3; op=atomic-write kind=enospc times=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inj.Enabled() {
+		t.Fatal("parsed injector disabled")
+	}
+	// after=2: the first two appends succeed, every later one is ENOSPC.
+	var errs int
+	for i := 0; i < 5; i++ {
+		if err := inj.Check(faults.OpJournalAppend, "/j.cvj"); err != nil {
+			errs++
+			if !errors.Is(err, syscall.ENOSPC) {
+				t.Errorf("append fault missing ENOSPC: %v", err)
+			}
+		}
+	}
+	if errs != 3 {
+		t.Errorf("after=2 over 5 appends fired %d times, want 3", errs)
+	}
+	if err := inj.Check(faults.OpSegmentWrite, "/seg.cvj"); !errors.Is(err, syscall.EIO) {
+		t.Errorf("segment-write eio = %v", err)
+	}
+	if _, err := inj.Apply(faults.OpFsync, "/j.cvj", []byte("abcdef")); !errors.Is(err, io.ErrShortWrite) {
+		t.Errorf("fsync short-write = %v", err)
+	}
+	if err := inj.Check(faults.OpAtomicWrite, "/ckpt"); !errors.Is(err, syscall.ENOSPC) {
+		t.Errorf("atomic-write enospc = %v", err)
+	}
+	if err := inj.Check(faults.OpAtomicWrite, "/ckpt"); err != nil {
+		t.Errorf("times=1 fired twice: %v", err)
 	}
 }
 

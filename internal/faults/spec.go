@@ -19,15 +19,22 @@ const EnvVar = "CV_FAULTS"
 //	rule := term ((","|space) term)*
 //	term := key "=" value
 //
-// Keys: op (required: read|walk|stat|feature|parse|eval), kind (required:
-// error|transient|short|latency|corrupt|panic), path (substring or glob),
-// nth, every, after, times (integer triggers), msg (error text), delay
-// (Go duration, latency kind), bytes (short kind), seed (corrupt kind).
+// Keys: op (required: read|walk|stat|feature|parse|eval for the scan
+// path; journal-append|fsync|atomic-write|segment-write for the write
+// path), kind (required: error|transient|short|latency|corrupt|panic|
+// enospc|eio|short-write), path (substring or glob), nth, every, after,
+// times (integer triggers), msg (error text), delay (Go duration, latency
+// kind), bytes (short / short-write kinds), seed (corrupt kind).
 //
 // Example — every 5th read of any sshd_config fails, and the 3rd nginx
 // parse panics:
 //
 //	CV_FAULTS="op=read path=sshd_config every=5 kind=error; op=parse path=nginx.conf nth=3 kind=panic"
+//
+// Example — the disk fills after the 2nd journal append (the ENOSPC CI
+// smoke's fallback spec), and every worker segment write hits EIO:
+//
+//	CV_FAULTS="op=journal-append kind=enospc after=2; op=segment-write kind=eio"
 func Parse(spec string) (*Injector, error) {
 	var rules []Rule
 	for _, raw := range strings.Split(spec, ";") {

@@ -13,12 +13,27 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"syscall"
+
+	"configvalidator/internal/faults"
 )
 
 // ErrLocked reports a LockFile call on a file another handle holds the
 // exclusive lock on.
 var ErrLocked = errors.New("fsutil: file locked by another writer")
+
+// armed holds the process-wide write-path fault injector. Atomic writes
+// happen from CLI startup code, journal compaction, and watch loops that
+// do not share a common options struct, so chaos runs arm one injector
+// globally (commands call ArmFaults right after FaultsFromEnv).
+var armed atomic.Pointer[faults.Injector]
+
+// ArmFaults installs a write-path fault injector consulted by
+// WriteAtomic (op atomic-write, plus fsync for the temp-file sync). A nil
+// injector disarms. Only chaos drills and the ENOSPC CI smoke use this;
+// the production default is disarmed and costs one atomic load.
+func ArmFaults(inj *faults.Injector) { armed.Store(inj) }
 
 // WriteAtomic streams content into path atomically: the write callback
 // fills a hidden temp file in the same directory, which is fsynced, renamed
@@ -37,11 +52,17 @@ func WriteAtomic(path string, perm fs.FileMode, write func(io.Writer) error) (er
 			_ = os.Remove(tmpName)
 		}
 	}()
+	if err = armed.Load().Check(faults.OpAtomicWrite, path); err != nil {
+		return fmt.Errorf("fsutil: write %s: %w", path, err)
+	}
 	if err = write(tmp); err != nil {
 		return fmt.Errorf("fsutil: write %s: %w", path, err)
 	}
 	if err = tmp.Chmod(perm); err != nil {
 		return fmt.Errorf("fsutil: chmod %s: %w", path, err)
+	}
+	if err = armed.Load().Check(faults.OpFsync, path); err != nil {
+		return fmt.Errorf("fsutil: sync %s: %w", path, err)
 	}
 	if err = tmp.Sync(); err != nil {
 		return fmt.Errorf("fsutil: sync %s: %w", path, err)

@@ -38,6 +38,19 @@
 // (never in place), then continues appending to the compacted file — so a
 // long-lived journal is a snapshot plus a tail of recent appends.
 //
+// # Degraded mode
+//
+// A journal whose disk stops accepting writes (ENOSPC, EIO) must not
+// take the scan down with it: crash-safety is a feature of the run, not
+// a precondition. On an append or sync failure the journal flips to
+// degraded — Degraded() reports true, the first error is retained, and
+// subsequent appends fail fast without touching the disk. A jittered
+// re-probe (ReprobeInterval) periodically truncates any torn partial
+// write back to the last known-good byte and retries for real; the first
+// success exits degraded mode and journaling resumes. Callers observe
+// failures per append (they are never silent) but the scan itself
+// continues and produces identical findings — only durability degrades.
+//
 // # Ownership
 //
 // A journal path is owned by exactly one handle at a time: Open takes an
@@ -56,13 +69,16 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"configvalidator/internal/cvl"
 	"configvalidator/internal/engine"
+	"configvalidator/internal/faults"
 	"configvalidator/internal/fsutil"
 )
 
@@ -72,6 +88,16 @@ const magic = "CVJRNL01"
 // maxRecordSize bounds a single record payload (64 MiB). A length field
 // beyond it is treated as corruption, not as an allocation request.
 const maxRecordSize = 64 << 20
+
+// Re-probe pacing for degraded journals: the first probe happens no
+// sooner than defaultReprobeInterval after the failure, later probes
+// back off with decorrelated jitter up to maxReprobeInterval — disk
+// pressure rarely clears in milliseconds, and a fleet of degraded
+// validators must not retry-storm the moment it does.
+const (
+	defaultReprobeInterval = 500 * time.Millisecond
+	maxReprobeInterval     = 10 * time.Second
+)
 
 // ErrNotJournal reports a file whose header is present but is not a
 // journal — recovery refuses to truncate what it does not own.
@@ -101,6 +127,11 @@ type Metrics interface {
 	// JournalCorruptRecord records one torn or corrupt record dropped
 	// during recovery.
 	JournalCorruptRecord()
+	// JournalDegraded flips the degraded-journal gauge: true when an
+	// append/sync failure degrades the journal, false on recovery.
+	JournalDegraded(degraded bool)
+	// JournalReprobe records one degraded-mode write re-probe attempt.
+	JournalReprobe()
 }
 
 // Options tune a journal.
@@ -114,6 +145,26 @@ type Options struct {
 	SyncEvery int
 	// Metrics optionally receives append/replay/corruption events.
 	Metrics Metrics
+
+	// Faults optionally injects write-path faults into appends and syncs
+	// (chaos drills, the ENOSPC CI smoke). Nil means no injection.
+	Faults *faults.Injector
+	// WriteOp is the fault op consulted per append when Faults is armed;
+	// empty defaults to faults.OpJournalAppend. The worker shard handler
+	// passes faults.OpSegmentWrite so drills can target worker segments
+	// without touching coordinator journals.
+	WriteOp faults.Op
+	// ReprobeInterval is the minimum wait before a degraded journal
+	// re-probes the disk with a real write; 0 means 500ms. Probes back
+	// off with decorrelated jitter up to 10s while failures persist.
+	ReprobeInterval time.Duration
+	// OnDegraded, if set, is called once per degradation episode with
+	// the first append/sync error — the one-shot operator log hook. It
+	// runs under the journal lock: log and return, do not call back.
+	OnDegraded func(error)
+	// OnRecovered, if set, is called when a re-probe succeeds and
+	// journaling resumes. Same locking caveat as OnDegraded.
+	OnRecovered func()
 }
 
 // Record is one journaled per-entity outcome. Exactly one of Report and
@@ -142,6 +193,11 @@ type Stats struct {
 	Replayed, CorruptRecords int64
 	// Entities is the number of entities with a live completed record.
 	Entities int
+	// Degraded reports whether the journal is currently in degraded mode
+	// (appends failing fast between re-probes); Reprobes counts the
+	// write re-probes attempted while degraded.
+	Degraded bool
+	Reprobes int64
 }
 
 // Journal is an append-only, CRC-checksummed record log. Safe for
@@ -161,6 +217,21 @@ type Journal struct {
 	appends, appendErrs, replayedN, corrupt int64
 	sinceSync                               int
 	closed                                  bool
+
+	// Degraded mode: after an append/sync failure the journal fails
+	// appends fast (the scan must not block on a dead disk) until a
+	// jittered re-probe writes successfully again. goodOff is the offset
+	// one past the last known-good byte; a re-probe truncates back to it
+	// first, discarding any torn partial write from the failing period.
+	degraded    bool
+	degradedErr error // first error of the current episode
+	reprobes    int64
+	goodOff     int64
+	nextProbe   time.Time
+	probeWait   time.Duration
+
+	now   func() time.Time    // test seam; nil means time.Now
+	randN func(n int64) int64 // test seam; nil means rand.Int63n
 }
 
 // Open creates or recovers the journal at path. Recovery replays every
@@ -199,6 +270,7 @@ func (j *Journal) recover() error {
 		if _, err := j.f.Write([]byte(magic)); err != nil {
 			return fmt.Errorf("journal: write header %s: %w", j.path, err)
 		}
+		j.goodOff = int64(len(magic))
 		return j.syncNow()
 	}
 	header := make([]byte, len(magic))
@@ -249,6 +321,7 @@ func (j *Journal) recover() error {
 		}
 		offset += 8 + int64(length)
 	}
+	j.goodOff = offset
 	return nil
 }
 
@@ -266,7 +339,9 @@ func (j *Journal) truncateTo(offset int64, rewriteMagic bool) error {
 		if _, err := j.f.Write([]byte(magic)); err != nil {
 			return fmt.Errorf("journal: write header %s: %w", j.path, err)
 		}
+		offset += int64(len(magic))
 	}
+	j.goodOff = offset
 	return j.syncNow()
 }
 
@@ -310,10 +385,36 @@ func (j *Journal) Append(rec Record) error {
 		j.appendErrs++
 		return ErrClosed
 	}
-	if _, err := j.f.Write(buf); err != nil {
+	if j.degraded {
+		if j.clock().Before(j.nextProbe) {
+			// Fail fast between probes: a scan must not block on (or
+			// hammer) a dead disk for every entity.
+			j.appendErrs++
+			return fmt.Errorf("journal: append %s (degraded, next probe in %v): %w",
+				j.path, j.nextProbe.Sub(j.clock()).Round(time.Millisecond), j.degradedErr)
+		}
+		// Probe time: restore the file to the last known-good byte so any
+		// torn partial write from the failing period is discarded, then
+		// fall through and attempt the append for real.
+		j.reprobes++
+		if j.opts.Metrics != nil {
+			j.opts.Metrics.JournalReprobe()
+		}
+		if err := j.restoreGood(); err != nil {
+			j.appendErrs++
+			j.scheduleReprobe()
+			return fmt.Errorf("journal: append %s (degraded, restore failed): %w", j.path, err)
+		}
+	}
+	if err := j.writeRecord(buf); err != nil {
 		j.appendErrs++
+		j.degrade(err)
 		return fmt.Errorf("journal: append %s: %w", j.path, err)
 	}
+	if j.degraded {
+		j.clearDegraded()
+	}
+	j.goodOff += int64(len(buf))
 	j.appends++
 	j.absorb(rec)
 	if j.opts.Metrics != nil {
@@ -325,13 +426,154 @@ func (j *Journal) Append(rec Record) error {
 		every = 1
 	}
 	if every > 0 && j.sinceSync >= every {
-		return j.syncNow()
+		if err := j.syncNow(); err != nil {
+			// The record is in the page cache but its durability is not
+			// proven; degrade (the re-probe's restoreGood keeps it — the
+			// bytes are known-good as written) and surface the error.
+			j.appendErrs++
+			j.degrade(err)
+			return err
+		}
 	}
 	return nil
 }
 
+// writeRecord puts one framed record at the current file offset, passing
+// it through the armed write-fault injector first. A short-write fault
+// deposits its truncated prefix in the file so the degraded period leaves
+// a genuinely torn tail for restoreGood (and Open recovery) to discard.
+func (j *Journal) writeRecord(buf []byte) error {
+	if j.opts.Faults.Enabled() {
+		op := j.opts.WriteOp
+		if op == "" {
+			op = faults.OpJournalAppend
+		}
+		data, err := j.opts.Faults.Apply(op, j.path, buf)
+		if err != nil {
+			if len(data) > 0 && len(data) < len(buf) {
+				_, _ = j.f.Write(data)
+			}
+			return err
+		}
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return err
+	}
+	return nil
+}
+
+// degrade enters (or stays in) degraded mode: the first error of the
+// episode is retained for Degraded()/fast-fail messages, the gauge and
+// one-shot operator hook fire on entry, and the next re-probe is
+// scheduled with jittered backoff.
+func (j *Journal) degrade(err error) {
+	if !j.degraded {
+		j.degraded = true
+		j.degradedErr = err
+		if j.opts.Metrics != nil {
+			j.opts.Metrics.JournalDegraded(true)
+		}
+		if j.opts.OnDegraded != nil {
+			j.opts.OnDegraded(err)
+		}
+	}
+	j.scheduleReprobe()
+}
+
+// clearDegraded exits degraded mode after a successful write.
+func (j *Journal) clearDegraded() {
+	j.degraded = false
+	j.degradedErr = nil
+	j.probeWait = 0
+	j.nextProbe = time.Time{}
+	if j.opts.Metrics != nil {
+		j.opts.Metrics.JournalDegraded(false)
+	}
+	if j.opts.OnRecovered != nil {
+		j.opts.OnRecovered()
+	}
+}
+
+// scheduleReprobe picks the next probe time with decorrelated jitter:
+// uniform in [base, 3×previous], capped — the same shape as the fleet
+// retry backoff, for the same reason (no synchronized retry storms).
+func (j *Journal) scheduleReprobe() {
+	base := j.opts.ReprobeInterval
+	if base <= 0 {
+		base = defaultReprobeInterval
+	}
+	prev := j.probeWait
+	if prev < base {
+		prev = base
+	}
+	hi := 3 * prev
+	if hi > maxReprobeInterval {
+		hi = maxReprobeInterval
+	}
+	wait := base
+	if span := int64(hi - base); span > 0 {
+		wait = base + time.Duration(j.rand(span))
+	}
+	j.probeWait = wait
+	j.nextProbe = j.clock().Add(wait)
+}
+
+// restoreGood truncates the file back to the last known-good byte and
+// repositions the write offset there — idempotent, and the only repair a
+// torn degraded-period tail ever needs (the framing recovers the rest).
+func (j *Journal) restoreGood() error {
+	if err := j.f.Truncate(j.goodOff); err != nil {
+		return err
+	}
+	if _, err := j.f.Seek(j.goodOff, io.SeekStart); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (j *Journal) clock() time.Time {
+	if j.now != nil {
+		return j.now()
+	}
+	return time.Now()
+}
+
+func (j *Journal) rand(n int64) int64 {
+	if j.randN != nil {
+		return j.randN(n)
+	}
+	return rand.Int63n(n)
+}
+
+// Degraded reports whether the journal is in degraded mode: appends are
+// failing fast between re-probes and results are not being persisted.
+func (j *Journal) Degraded() bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degraded
+}
+
+// DegradedErr returns the first error of the current degradation episode,
+// or nil when the journal is healthy.
+func (j *Journal) DegradedErr() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degradedErr
+}
+
 func (j *Journal) syncNow() error {
 	j.sinceSync = 0
+	if j.opts.Faults.Enabled() {
+		if err := j.opts.Faults.Check(faults.OpFsync, j.path); err != nil {
+			return fmt.Errorf("journal: sync %s: %w", j.path, err)
+		}
+	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("journal: sync %s: %w", j.path, err)
 	}
@@ -390,6 +632,8 @@ func (j *Journal) Stats() Stats {
 		Replayed:       j.replayedN,
 		CorruptRecords: j.corrupt,
 		Entities:       len(j.index),
+		Degraded:       j.degraded,
+		Reprobes:       j.reprobes,
 	}
 }
 
@@ -450,13 +694,20 @@ func (j *Journal) Compact() error {
 		}
 		return fmt.Errorf("journal: relock after compact: %w", err)
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
 		_ = f.Close()
 		return fmt.Errorf("journal: seek after compact: %w", err)
 	}
 	_ = j.f.Close()
 	j.f = f
 	j.sinceSync = 0
+	j.goodOff = end
+	// A successful compaction proves the disk accepts writes again; a
+	// degraded journal can resume appending without waiting for a probe.
+	if j.degraded {
+		j.clearDegraded()
+	}
 	return nil
 }
 

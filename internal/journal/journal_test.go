@@ -447,12 +447,15 @@ func TestLatestFollowsAppendsAndReplay(t *testing.T) {
 }
 
 type fakeMetrics struct {
-	appended, replayed, corrupt int
+	appended, replayed, corrupt, reprobes int
+	degradedFlips                         []bool
 }
 
-func (m *fakeMetrics) JournalAppended()      { m.appended++ }
-func (m *fakeMetrics) JournalReplayed()      { m.replayed++ }
-func (m *fakeMetrics) JournalCorruptRecord() { m.corrupt++ }
+func (m *fakeMetrics) JournalAppended()       { m.appended++ }
+func (m *fakeMetrics) JournalReplayed()       { m.replayed++ }
+func (m *fakeMetrics) JournalCorruptRecord()  { m.corrupt++ }
+func (m *fakeMetrics) JournalDegraded(d bool) { m.degradedFlips = append(m.degradedFlips, d) }
+func (m *fakeMetrics) JournalReprobe()        { m.reprobes++ }
 
 func TestMetricsPlumbing(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "fleet.cvj")

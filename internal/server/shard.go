@@ -10,10 +10,12 @@ import (
 	"path/filepath"
 	"regexp"
 	"sync"
+	"syscall"
 	"time"
 
 	configvalidator "configvalidator"
 	"configvalidator/internal/dist"
+	"configvalidator/internal/faults"
 	"configvalidator/internal/frames"
 	"configvalidator/internal/journal"
 )
@@ -148,15 +150,28 @@ func (s *Server) handleShardScan(w http.ResponseWriter, r *http.Request) {
 	// of re-scanning it. The journal's flock ownership doubles as lease
 	// fencing — while a revoked request is still tearing down, a new lease
 	// for the same shard gets 409 and the coordinator retries with backoff.
+	// segment=0 disables the segment: the coordinator sends it after a 507
+	// so a disk-pressured worker still scans, just without local resume.
 	var seg *journal.Journal
-	if s.ShardJournalDir != "" {
+	if s.ShardJournalDir != "" && r.URL.Query().Get("segment") != "0" {
 		path := filepath.Join(s.ShardJournalDir, shardID+".cvj")
 		var err error
-		seg, err = journal.Open(path, journal.Options{Metrics: s.metrics})
+		seg, err = journal.Open(path, journal.Options{
+			Metrics: s.metrics,
+			Faults:  s.validator.Faults(),
+			WriteOp: faults.OpSegmentWrite,
+		})
 		if err != nil {
 			if errors.Is(err, journal.ErrBusy) {
 				w.Header().Set("Retry-After", "1")
 				httpError(w, http.StatusConflict, "shard journal segment busy: %v", err)
+				return
+			}
+			if errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EIO) {
+				// Disk pressure is not a worker fault: 507 tells the
+				// coordinator to keep the lease and re-dispatch without a
+				// segment, so the breaker stays closed.
+				httpError(w, http.StatusInsufficientStorage, "open shard journal: %v", err)
 				return
 			}
 			s.brk.failure()
@@ -216,6 +231,7 @@ func (s *Server) handleShardScan(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	n := 0
+	degradedSent := false
 	results := s.validator.ValidateFleet(r.Context(), feed, configvalidator.FleetOptions{
 		Workers:     s.ShardWorkers,
 		ScanTimeout: scanTimeout,
@@ -237,6 +253,16 @@ func (s *Server) handleShardScan(w http.ResponseWriter, r *http.Request) {
 		}
 		out.send(rec)
 		n++
+		// Mid-shard disk pressure: tell the coordinator once that this
+		// shard lost worker-side resume, and keep streaming results.
+		if !degradedSent && seg != nil && seg.Degraded() {
+			degradedSent = true
+			drec := dist.StreamRecord{Type: dist.TypeDegradedJournal}
+			if derr := seg.DegradedErr(); derr != nil {
+				drec.Err = derr.Error()
+			}
+			out.send(drec)
+		}
 	}
 	close(stopHeartbeat)
 	hbWG.Wait()

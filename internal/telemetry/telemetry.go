@@ -152,6 +152,16 @@ type Collector struct {
 	journalSkipped  atomic.Int64
 	scanAbandoned   atomic.Int64
 
+	// Disk-pressure counters: journal appends that failed (ENOSPC, EIO),
+	// the degraded-journal gauge (1 while appends are failing fast
+	// between re-probes), write re-probes attempted while degraded, and
+	// coordinator merge stalls (the FleetResult consumer fell behind long
+	// enough to pause shard stream reads).
+	journalAppendErrors atomic.Int64
+	journalDegraded     atomic.Int64 // gauge: 0 healthy, 1 degraded
+	journalReprobes     atomic.Int64
+	mergeStalls         atomic.Int64
+
 	// Distributed-fleet counters: shards handed to workers under a lease,
 	// shards whose every entity completed, leases revoked and reassigned
 	// after a missed heartbeat or worker failure, heartbeats the
@@ -325,7 +335,7 @@ func (c *Collector) ParseCacheEviction() {
 }
 
 // JournalAppended records one record durably appended to the result
-// journal. The three Journal* methods implement journal.Metrics, so a
+// journal. The Journal* methods implement journal.Metrics, so a
 // Collector can be attached directly to a journal.
 func (c *Collector) JournalAppended() {
 	if c == nil {
@@ -349,6 +359,45 @@ func (c *Collector) JournalCorruptRecord() {
 		return
 	}
 	c.journalCorrupt.Add(1)
+}
+
+// JournalAppendError records one failed journal append — the scan
+// continued, the result was not persisted (disk full, I/O fault).
+func (c *Collector) JournalAppendError() {
+	if c == nil {
+		return
+	}
+	c.journalAppendErrors.Add(1)
+}
+
+// JournalDegraded flips the degraded-journal gauge: true while appends
+// are failing fast between re-probes, false once journaling resumes.
+func (c *Collector) JournalDegraded(degraded bool) {
+	if c == nil {
+		return
+	}
+	if degraded {
+		c.journalDegraded.Store(1)
+	} else {
+		c.journalDegraded.Store(0)
+	}
+}
+
+// JournalReprobe records one degraded-mode write re-probe attempt.
+func (c *Collector) JournalReprobe() {
+	if c == nil {
+		return
+	}
+	c.journalReprobes.Add(1)
+}
+
+// MergeStalled records one coordinator merge stall: the FleetResult
+// consumer fell behind long enough that shard stream reads paused.
+func (c *Collector) MergeStalled() {
+	if c == nil {
+		return
+	}
+	c.mergeStalls.Add(1)
 }
 
 // JournalEntitySkipped records one fleet entity skipped because its
@@ -468,6 +517,12 @@ type Snapshot struct {
 	// cancellation before delivery.
 	JournalAppends, JournalReplayed, JournalCorruptRecords, JournalSkippedEntities int64
 	ScansAbandoned                                                                 int64
+	// Disk-pressure counters: appends that failed (the scan continued,
+	// the result was not persisted), the degraded-journal gauge, write
+	// re-probes while degraded, and coordinator merge stalls (consumer
+	// backpressure paused shard stream reads).
+	JournalAppendErrors, JournalReprobes, MergeStalls int64
+	JournalDegraded                                   bool
 	// Distributed-fleet counters: shards dispatched under a lease, shards
 	// fully completed, leases revoked and reassigned, heartbeats missed,
 	// duplicate remote results dropped, worker RPC dispatch retries, and
@@ -505,6 +560,10 @@ func (c *Collector) Snapshot() Snapshot {
 		JournalReplayed:        c.journalReplayed.Load(),
 		JournalCorruptRecords:  c.journalCorrupt.Load(),
 		JournalSkippedEntities: c.journalSkipped.Load(),
+		JournalAppendErrors:    c.journalAppendErrors.Load(),
+		JournalDegraded:        c.journalDegraded.Load() != 0,
+		JournalReprobes:        c.journalReprobes.Load(),
+		MergeStalls:            c.mergeStalls.Load(),
 		ScansAbandoned:         c.scanAbandoned.Load(),
 		ShardsDispatched:       c.shardsDispatched.Load(),
 		ShardsCompleted:        c.shardsCompleted.Load(),
@@ -564,6 +623,9 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 	counter("configvalidator_journal_replayed_total", "Journal records replayed at recovery.", s.JournalReplayed)
 	counter("configvalidator_journal_corrupt_records_total", "Corrupt journal records dropped at recovery.", s.JournalCorruptRecords)
 	counter("configvalidator_journal_skipped_entities_total", "Fleet entities skipped on resume (journaled digest matched).", s.JournalSkippedEntities)
+	counter("configvalidator_journal_append_errors_total", "Journal appends that failed (scan continued, result not persisted).", s.JournalAppendErrors)
+	counter("configvalidator_journal_reprobes_total", "Write re-probes attempted by a degraded journal.", s.JournalReprobes)
+	counter("configvalidator_merge_stalls_total", "Coordinator merge stalls (slow FleetResult consumer paused shard reads).", s.MergeStalls)
 	counter("configvalidator_scans_abandoned_total", "Computed fleet results dropped at context cancellation.", s.ScansAbandoned)
 	counter("configvalidator_shards_dispatched_total", "Shards handed to workers under a lease.", s.ShardsDispatched)
 	counter("configvalidator_shards_completed_total", "Shards whose every entity produced a result.", s.ShardsCompleted)
@@ -583,6 +645,11 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 		breakerOpen = 1
 	}
 	gauge("configvalidator_breaker_open", "Whether the validation circuit breaker is open (1) or closed (0).", breakerOpen)
+	var journalDegraded int64
+	if s.JournalDegraded {
+		journalDegraded = 1
+	}
+	gauge("configvalidator_journal_degraded", "Whether the result journal is degraded (1) — appends failing fast between re-probes — or healthy (0).", journalDegraded)
 
 	fmt.Fprintf(&b, "# HELP configvalidator_results_total Rule results across all scans, by status.\n")
 	fmt.Fprintf(&b, "# TYPE configvalidator_results_total counter\n")

@@ -37,6 +37,11 @@ go test -race ./...
 # in-process run's.
 ./scripts/worker_kill_smoke.sh
 
+# Disk-pressure smoke: fill the disk (size-capped tmpfs, or the CV_FAULTS
+# ENOSPC injector when unprivileged) under a journaled scan; the scan must
+# complete degraded and a follow-up run must resume journaling.
+./scripts/enospc_smoke.sh
+
 # Fuzz smoke over the untrusted-input parsers; go test accepts one -fuzz
 # target per invocation, so each runs separately.
 fuzztime="${FUZZTIME:-10s}"

@@ -301,6 +301,11 @@ func (v *Validator) ParseCacheStats() ParseCacheStats { return v.cache.Stats() }
 // Validator was built without WithTelemetry.
 func (v *Validator) Telemetry() *Collector { return v.telemetry }
 
+// Faults returns the attached fault injector, or nil when the Validator
+// was built without WithFaults. The shard-scan server uses it to arm the
+// same CV_FAULTS spec on worker journal segments (op segment-write).
+func (v *Validator) Faults() *FaultInjector { return v.faults }
+
 // record instruments one terminal validation outcome. Collector methods
 // are nil-safe, so un-instrumented validators pay only a nil check.
 func (v *Validator) record(start time.Time, rep *Report, err error) {
